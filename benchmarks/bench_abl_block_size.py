@@ -1,0 +1,17 @@
+"""Ablation — Z-zone block capacity sweep."""
+
+from repro.experiments import abl_block_size
+
+
+def test_abl_block_size(run_once):
+    result = run_once("abl_block_size", abl_block_size.run)
+    ratios = dict(result.ratio_series())
+    # Bigger blocks compress better (Table 2's trend inside the cache)...
+    assert ratios[4096] > ratios[512] > ratios[256]
+    # ...but cost more bytes decompressed per access.
+    costs = {size: dec for size, _r, _m, _i, dec in result.rows}
+    assert costs[4096] > costs[512]
+    # The 2 KB default sits past the knee: most of the ratio, a fraction
+    # of the biggest block's access cost.
+    assert ratios[2048] > 0.8 * ratios[4096]
+    assert costs[2048] < 0.6 * costs[4096]

@@ -1,0 +1,14 @@
+"""Ablation — Z-zone codec choice."""
+
+from repro.experiments import abl_codec
+
+
+def test_abl_codec(run_once):
+    result = run_once("abl_codec", abl_codec.run)
+    # Any real codec beats no compression in items held.
+    assert result.items_for("lz4") > result.items_for("null")
+    assert result.items_for("deflate-1") > result.items_for("null")
+    # DEFLATE's entropy stage compresses these records harder than LZ4.
+    assert result.ratio_for("deflate-1") >= result.ratio_for("lz4")
+    # The calibrated ratio model lands near the LZ4 measurement it models.
+    assert abs(result.ratio_for("model") - result.ratio_for("lz4")) < 0.45

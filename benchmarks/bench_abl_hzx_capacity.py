@@ -1,0 +1,18 @@
+"""Ablation — H-zExpander miss advantage vs cache size."""
+
+from repro.experiments import abl_hzx_capacity
+
+
+def test_abl_hzx_capacity(run_once):
+    result = run_once("abl_hzx_capacity", abl_hzx_capacity.run)
+    reductions = dict(result.reductions())
+    ordered = [reductions[m] for m in sorted(reductions)]
+    # The advantage grows with capacity: a tail-starved cache has no
+    # N-zone slack to trade for a Z-zone (the reduction there may even be
+    # slightly negative), while a cache that can hold the hot set plus a
+    # compressed tail removes a large share of the remaining misses.
+    assert ordered[-1] > 0.2
+    assert ordered[-1] > ordered[0]
+    assert all(reduction > -0.1 for reduction in ordered)
+    # More items cached at every size.
+    assert all(row[5] > 0 for row in result.rows)

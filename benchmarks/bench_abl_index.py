@@ -1,0 +1,16 @@
+"""Ablation — trie-of-blocks index vs per-item indexing."""
+
+from repro.experiments import abl_index
+
+
+def test_abl_index(run_once):
+    result = run_once("abl_index", abl_index.run)
+    trie_total = result.rows[0][1]
+    memcached_total = result.rows[1][1]
+    flat_total = result.rows[2][1]
+    # The block trie's metadata is an order of magnitude below per-item
+    # indexes (the paper's Figure 7 metadata argument).
+    assert trie_total * 5 < flat_total
+    assert trie_total * 10 < memcached_total
+    # And lookups stay cheap: "usually fewer than three" probes.
+    assert result.average_probes < 3.5

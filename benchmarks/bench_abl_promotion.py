@@ -1,0 +1,18 @@
+"""Ablation — Z->N promotion policies."""
+
+from repro.experiments import abl_promotion
+
+
+def test_abl_promotion(run_once):
+    result = run_once("abl_promotion", abl_promotion.run)
+    reuse = result.row("reuse-time")
+    always = result.row("always")
+    never = result.row("never")
+    # Always-promote churns items through the zones: far more demotions
+    # and lower modelled throughput than the paper's re-use-time rule.
+    assert always[3] > 2 * reuse[3]
+    assert always[5] < reuse[5]
+    # The re-use-time rule promotes selectively: strictly fewer
+    # promotions than "always", strictly more than "never".
+    assert never[2] == 0
+    assert 0 < reuse[2] < always[2]

@@ -1,0 +1,12 @@
+"""Ablation — Access-Filter-guided sweep vs blind sweep."""
+
+from repro.experiments import abl_zreplacement
+
+
+def test_abl_zreplacement(run_once):
+    result = run_once("abl_zreplacement", abl_zreplacement.run)
+    guided = result.miss_ratio("access-filter sweep (paper)")
+    blind = result.miss_ratio("blind sweep")
+    # The Access Filter's within-block locality tracking must not hurt,
+    # and normally helps.
+    assert guided <= blind * 1.02

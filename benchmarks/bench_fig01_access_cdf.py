@@ -1,0 +1,12 @@
+"""Figure 1 — access CDF / long-tail coverage of the four workloads."""
+
+from repro.experiments import fig01_access_cdf
+
+
+def test_fig01_access_cdf(run_once):
+    result = run_once("fig01_access_cdf", fig01_access_cdf.run)
+    coverage = {name: measured for name, measured, _paper in result.rows}
+    # Paper ordering: ETC is the most concentrated, USR the least.
+    assert coverage["ETC"] < coverage["APP"] < coverage["USR"]
+    # Every workload is long-tailed: a small fraction covers 80 %.
+    assert all(value < 0.45 for value in coverage.values())

@@ -1,0 +1,18 @@
+"""Figure 2 — miss-ratio curves under LRU / LIRS / ARC."""
+
+from repro.experiments import fig02_miss_curves
+from repro.experiments.common import WORKLOAD_NAMES
+
+
+def test_fig02_miss_curves(run_once):
+    result = run_once("fig02_miss_curves", fig02_miss_curves.run)
+    for workload in WORKLOAD_NAMES:
+        for algorithm in ("LRU", "LIRS", "ARC"):
+            series = dict(result.series(workload, algorithm))
+            # Monotone decrease with capacity across the sweep.
+            assert series[3.0] < series[1.0]
+        # Advanced algorithms beat LRU at base size, moderately.
+        lru = dict(result.series(workload, "LRU"))
+        arc = dict(result.series(workload, "ARC"))
+        lirs = dict(result.series(workload, "LIRS"))
+        assert min(arc[1.0], lirs[1.0]) <= lru[1.0]

@@ -1,0 +1,15 @@
+"""Figure 5 — miss ratio, memcached vs M-zExpander."""
+
+from repro.experiments import fig05_memcached_miss
+from repro.experiments.common import WORKLOAD_NAMES
+
+
+def test_fig05_memcached_miss(run_once):
+    result = run_once("fig05_memcached_miss", fig05_memcached_miss.run)
+    for workload in WORKLOAD_NAMES:
+        reductions = result.reductions(workload)
+        # M-zExpander reduces the miss ratio at every cache size.
+        assert all(reduction > 0 for reduction in reductions)
+    # The paper's headline: reductions up to ~46 %.
+    best = max(r for *_cells, r in result.rows)
+    assert best > 0.15

@@ -1,0 +1,18 @@
+"""Figure 6 — uncompressed bytes of cached KV items."""
+
+from repro.experiments import fig06_cached_bytes
+from repro.experiments.common import WORKLOAD_NAMES
+
+
+def test_fig06_cached_bytes(run_once):
+    result = run_once("fig06_cached_bytes", fig06_cached_bytes.run)
+    for workload in WORKLOAD_NAMES:
+        # M-zExpander holds more KV-item bytes in the same memory.
+        assert all(increase > 0 for increase in result.increases(workload))
+    # USR (2-byte values) shows the largest gains: memcached's per-item
+    # overhead dwarfs its payloads.
+    usr_best = max(result.increases("USR"))
+    others = max(
+        max(result.increases(w)) for w in ("APP", "YCSB")
+    )
+    assert usr_best > others

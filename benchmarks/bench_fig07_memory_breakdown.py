@@ -1,0 +1,23 @@
+"""Figure 7 — memory breakdown of three cache organisations."""
+
+from repro.experiments import fig07_memory_breakdown
+
+
+def test_fig07_memory_breakdown(run_once):
+    result = run_once("fig07_memory_breakdown", fig07_memory_breakdown.run)
+    memcached = result.by_label("memcached")
+    compressed = result.by_label("memcached+item")
+    zzone = result.by_label("zExpander")
+    # Paper shape: memcached spends ~56 % on items, ~32 % on metadata;
+    # the Z-zone spends ~88 % on items with tiny metadata.
+    assert memcached.fraction("items") < 0.70
+    assert memcached.fraction("metadata") > 0.15
+    assert zzone.fraction("items") > memcached.fraction("items")
+    assert zzone.fraction("metadata") < memcached.fraction("metadata")
+    # Individual compression helps only modestly (paper: +13.5 % items).
+    gain_individual = compressed.item_count / memcached.item_count - 1
+    assert 0.0 <= gain_individual < 0.45
+    # Batched compression holds far more data (paper: +126 %).
+    gain_zzone = zzone.uncompressed_items / memcached.uncompressed_items - 1
+    assert gain_zzone > 0.8
+    assert gain_zzone > 3 * max(gain_individual, 0.01)

@@ -1,0 +1,14 @@
+"""Figure 8 — single-thread throughput, memcached vs M-zExpander."""
+
+from repro.experiments import fig08_memcached_tput
+
+
+def test_fig08_memcached_tput(run_once):
+    result = run_once("fig08_memcached_tput", fig08_memcached_tput.run)
+    # Paper: M-zExpander within ~4 % of memcached, as networking
+    # dominates; allow modest slack at reproduction scale.
+    for ratio in result.ratios():
+        assert 0.90 <= ratio <= 1.02
+    # memcached's absolute single-thread throughput anchor: <100 K RPS.
+    for _w, _m, mc_rps, _zx_rps, _ratio in result.rows:
+        assert 60_000 < mc_rps < 100_000

@@ -1,0 +1,16 @@
+"""Figure 9 — memcached-based throughput vs thread count (YCSB)."""
+
+from repro.experiments import fig09_memcached_threads
+
+
+def test_fig09_memcached_threads(run_once):
+    result = run_once("fig09_memcached_threads", fig09_memcached_threads.run)
+    for multiple in (1.5, 2.0, 2.5):
+        memcached = dict(result.series(multiple, "memcached"))
+        mzx = dict(result.series(multiple, "M-zExpander"))
+        # Networking caps scaling far below linear and below ~700 K RPS.
+        assert memcached[24] < 700_000
+        assert memcached[24] / memcached[1] < 10
+        # M-zExpander tracks memcached at every thread count.
+        for threads in (1, 8, 24):
+            assert 0.88 <= mzx[threads] / memcached[threads] <= 1.02

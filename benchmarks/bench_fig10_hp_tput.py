@@ -1,0 +1,22 @@
+"""Figure 10 — H-Cache vs H-zExpander throughput vs threads."""
+
+from repro.experiments import fig10_hp_tput
+from repro.experiments.hzx_runs import mix_label
+
+
+def test_fig10_hp_tput(run_once):
+    result = run_once("fig10_hp_tput", fig10_hp_tput.run)
+    for get_fraction, set_fraction in ((1.0, 0.0), (0.95, 0.05), (0.5, 0.5)):
+        label = mix_label(get_fraction, set_fraction)
+        hcache = dict(result.series(label, "H-Cache"))
+        hzx = dict(result.series(label, "H-zExpander"))
+        # H-zExpander runs below H-Cache at low thread counts...
+        assert hzx[1] < hcache[1]
+        # ...but closes the gap as threads grow (lock-contention relief).
+        assert hzx[24] / hcache[24] > hzx[1] / hcache[1]
+    # Peak throughput anchor: all-GET tops out in the tens of millions.
+    all_get = dict(result.series(mix_label(1.0, 0.0), "H-Cache"))
+    assert 20e6 < all_get[24] < 45e6
+    # More SETs, less throughput — for both systems.
+    heavy = dict(result.series(mix_label(0.5, 0.5), "H-Cache"))
+    assert heavy[24] < all_get[24]

@@ -1,0 +1,16 @@
+"""Figure 11 — request-processing-time CDFs at 24 threads."""
+
+from repro.experiments import fig11_latency_cdf
+from repro.experiments.hzx_runs import mix_label
+
+
+def test_fig11_latency_cdf(run_once):
+    result = run_once("fig11_latency_cdf", fig11_latency_cdf.run)
+    label = mix_label(0.95, 0.05)
+    # The paper's tail crossover: H-zExpander wins the 99th percentile.
+    hcache_p99 = result.at(label, "H-Cache", 99.0)
+    hzx_p99 = result.at(label, "H-zExpander", 99.0)
+    assert hzx_p99 < hcache_p99
+    # Magnitudes in the paper's range (4.0 vs 4.6 microseconds).
+    assert 1.5 < hcache_p99 < 10.0
+    assert 1.5 < hzx_p99 < 10.0

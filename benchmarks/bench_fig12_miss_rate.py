@@ -1,0 +1,21 @@
+"""Figure 12 — miss rate (misses per second)."""
+
+from repro.experiments import fig12_miss_rate
+from repro.experiments.hzx_runs import mix_label
+
+
+def test_fig12_miss_rate(run_once):
+    result = run_once("fig12_miss_rate", fig12_miss_rate.run)
+    for get_fraction, set_fraction in ((1.0, 0.0), (0.95, 0.05), (0.5, 0.5)):
+        label = mix_label(get_fraction, set_fraction)
+        hcache = dict(result.series(label, "H-Cache"))
+        hzx = dict(result.series(label, "H-zExpander"))
+        # Despite lower throughput, H-zExpander produces fewer misses per
+        # second at every thread count (the paper's 30-40 % reductions).
+        for threads in (1, 8, 24):
+            assert hzx[threads] < hcache[threads]
+    label = mix_label(0.95, 0.05)
+    reduction = 1 - dict(result.series(label, "H-zExpander"))[24] / dict(
+        result.series(label, "H-Cache")
+    )[24]
+    assert reduction > 0.2

@@ -1,0 +1,19 @@
+"""Figure 15 — N/Z space re-allocation under a workload shift."""
+
+from repro.experiments import fig15_adaptation
+
+
+def test_fig15_adaptation(run_once):
+    result = run_once("fig15_adaptation", fig15_adaptation.run)
+    uniform = result.phase_points("uniform")
+    zipfian = result.phase_points("zipfian")
+    # Uniform phase: the controller gives the N-zone more space, and the
+    # amount of (compressible) data cached falls.
+    assert uniform[-1].nzone_capacity > uniform[0].nzone_capacity
+    # Zipfian phase: space flows back to the Z-zone...
+    assert zipfian[-1].nzone_capacity < zipfian[0].nzone_capacity
+    # ...and the cache ends up holding more KV bytes than at the switch.
+    assert (
+        zipfian[-1].nzone_kv_bytes + zipfian[-1].zzone_kv_bytes
+        > zipfian[0].nzone_kv_bytes + zipfian[0].zzone_kv_bytes
+    )

@@ -1,0 +1,15 @@
+"""Figure 16 — miss ratio and throughput across the adaptation run."""
+
+from repro.experiments import fig16_adaptation_perf
+
+
+def test_fig16_adaptation_perf(run_once):
+    result = run_once("fig16_adaptation_perf", fig16_adaptation_perf.run)
+    miss_uniform, tput_uniform = result.phase_average("uniform")
+    miss_zipf, tput_zipf = result.phase_average("zipfian")
+    # The paper's Figure 16: after the switch the miss ratio collapses
+    # (37 % -> 5.2 %) while throughput changes only moderately.
+    assert miss_zipf < miss_uniform * 0.6
+    assert tput_zipf > tput_uniform * 0.7
+    # Throughput stays in the paper's tens-of-millions regime.
+    assert 5e6 < tput_zipf < 45e6

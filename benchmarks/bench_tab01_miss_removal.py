@@ -1,0 +1,23 @@
+"""Table 1 — misses removed by larger caches and better algorithms."""
+
+from repro.experiments import tab01_miss_removal
+from repro.experiments.common import WORKLOAD_NAMES
+
+
+def test_tab01_miss_removal(run_once):
+    result = run_once("tab01_miss_removal", tab01_miss_removal.run)
+    for workload in WORKLOAD_NAMES:
+        # The reference cell is exactly zero by construction.
+        assert result.removed(workload, "LRU-X", 1.0) == 0.0
+        # Growing the cache removes misses at every multiple, even under
+        # the locality-blind LRU-X (the paper's key observation).
+        previous = 0.0
+        for multiple in (1.5, 2.0, 2.5, 3.0):
+            removed = result.removed(workload, "LRU-X", multiple)
+            assert removed < previous
+            previous = removed
+        # Capacity keeps paying even with the best algorithms.
+        assert result.removed(workload, "LIRS", 3.0) < result.removed(
+            workload, "LIRS", 1.0
+        )
+        assert result.removed(workload, "ARC", 3.0) < -0.2

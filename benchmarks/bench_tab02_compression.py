@@ -1,0 +1,26 @@
+"""Table 2 — compression ratio vs container size (Tweets / Places)."""
+
+import pytest
+
+from repro.experiments import tab02_compression
+
+
+def test_tab02_compression(run_once):
+    result = run_once("tab02_compression", tab02_compression.run)
+    tweets = dict(result.series("Tweets", "lz4"))
+    places = dict(result.series("Places", "lz4"))
+    # Monotone growth with container size, both corpora (the paper's
+    # motivation for batched compression).
+    for series in (tweets, places):
+        sizes = sorted(series)
+        assert all(series[a] <= series[b] + 0.02 for a, b in zip(sizes, sizes[1:]))
+    # Tweets do not compress individually (paper: 0.99).
+    individual = {
+        (corpus, codec): ind for corpus, codec, ind, _ in result.rows
+    }
+    assert individual[("Tweets", "lz4")] == pytest.approx(1.0, abs=0.08)
+    # Places do (paper: 1.28).
+    assert individual[("Places", "lz4")] > 1.1
+    # 2 KB containers land near the paper's design point.
+    assert 1.15 <= tweets[2048] <= 1.6
+    assert 1.4 <= places[2048] <= 2.0

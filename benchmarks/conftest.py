@@ -1,0 +1,32 @@
+"""Shared plumbing for the reproduction benches.
+
+Every bench runs its experiment exactly once (``benchmark.pedantic`` with
+one round — these are minutes-long replays, not microbenchmarks), writes
+the paper-style table to ``benchmarks/results/<name>.txt``, and asserts
+the qualitative shape the paper reports.  EXPERIMENTS.md indexes the
+committed outputs.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_once(benchmark, results_dir):
+    """Run an experiment once under pytest-benchmark and save its table."""
+
+    def runner(name, fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        (results_dir / f"{name}.txt").write_text(result.table() + "\n")
+        return result
+
+    return runner

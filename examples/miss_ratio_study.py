@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scenario: is a smarter replacement algorithm worth it, or just more room?
+
+Re-runs §2's motivating analysis on a synthetic ETC-like trace: compare
+LRU, LIRS, ARC, and the locality-blind LRU-X across cache sizes, plus the
+offline-optimal Belady bound (an extension beyond the paper).  The paper's
+takeaway — capacity keeps removing misses long after algorithmic cleverness
+has flattened out — falls out of the table.
+
+Run with::
+
+    python examples/miss_ratio_study.py
+"""
+
+from repro.analysis import base_cache_size, format_table
+from repro.replacement import (
+    ARCCache,
+    BeladyCache,
+    LIRSCache,
+    LRUCache,
+    LRUXCache,
+    simulate_trace,
+)
+from repro.workloads import ETC_SPEC, generate_facebook_trace
+
+NUM_KEYS = 10_000
+NUM_REQUESTS = 150_000
+MULTIPLES = (1.0, 1.5, 2.0, 3.0)
+
+
+def main() -> None:
+    trace = generate_facebook_trace(
+        ETC_SPEC, num_requests=NUM_REQUESTS, num_keys=NUM_KEYS, seed=7
+    )
+    base = base_cache_size(trace)
+    print(
+        f"ETC-like trace: {NUM_REQUESTS} requests over {NUM_KEYS} keys; "
+        f"base cache (80% of accesses) = {base} B"
+    )
+
+    def belady_factory(capacity):
+        cache = BeladyCache(capacity)
+        key_len = len(trace.key_prefix) + 12
+        # The future must match the driver's access calls exactly: GETs
+        # and SETs reach access(); DELETEs do not.
+        from repro.workloads.trace import OP_DELETE
+
+        cache.load_future(
+            [
+                (key, key_len + size)
+                for op, key, size in trace
+                if op != OP_DELETE
+            ]
+        )
+        return cache
+
+    algorithms = {
+        "LRU-X": lambda cap: LRUXCache(cap, base_capacity=min(base, cap), seed=1),
+        "LRU": LRUCache,
+        "LIRS": LIRSCache,
+        "ARC": ARCCache,
+        "Belady (optimal)": belady_factory,
+    }
+
+    rows = []
+    for name, factory in algorithms.items():
+        row = [name]
+        for multiple in MULTIPLES:
+            stats = simulate_trace(factory(int(base * multiple)), trace)
+            row.append(f"{stats.miss_ratio:.2%}")
+        rows.append(row)
+
+    headers = ["algorithm"] + [f"x{m:g} base" for m in MULTIPLES]
+    print(format_table(headers, rows, title="miss ratio vs cache size"))
+    print(
+        "\nreading: each 50% of extra capacity removes more misses than\n"
+        "swapping LRU for LIRS/ARC does - and even Belady's optimal cannot\n"
+        "recover what simply having more effective space recovers.\n"
+        "That is the gap zExpander's compressed Z-zone fills."
+    )
+
+
+if __name__ == "__main__":
+    main()

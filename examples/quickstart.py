@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: a zExpander cache in a dozen lines.
+
+Creates a two-zone cache, writes and reads a few items, and prints where
+the bytes and requests went.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MB, ZExpander, ZExpanderConfig, format_bytes
+
+
+def main() -> None:
+    # A 16 MB cache: ~30 % fast N-zone, ~70 % compressed Z-zone, with
+    # the paper's default policies (90 % N-zone service target, 2 KB
+    # blocks, marker-based promotion).
+    cache = ZExpander(ZExpanderConfig(total_capacity=16 * MB))
+
+    # The classic KV-cache interface.
+    cache.set(b"user:1001", b'{"name": "ada", "plan": "pro"}')
+    cache.set(b"user:1002", b'{"name": "lin", "plan": "free"}')
+    assert cache.get(b"user:1001") == b'{"name": "ada", "plan": "pro"}'
+    assert cache.get(b"user:9999") is None  # miss
+    cache.delete(b"user:1002")
+    assert b"user:1002" not in cache
+
+    # Fill enough data that the N-zone starts spilling into the Z-zone,
+    # re-reading recent items along the way.
+    for index in range(50_000):
+        cache.clock.advance(1e-5)
+        cache.set(b"item:%08d" % index, b"payload-%08d-" % index * 4)
+        if index % 3 == 0:
+            cache.get(b"item:%08d" % max(0, index - index % 1000))
+
+    stats = cache.stats
+    print("requests:", stats.gets + stats.sets + stats.deletes)
+    print(f"miss ratio: {stats.miss_ratio:.2%}")
+    print("items cached:", cache.item_count)
+    print(
+        "N-zone:",
+        cache.nzone.item_count,
+        "items in",
+        format_bytes(cache.nzone.used_bytes),
+    )
+    print(
+        "Z-zone:",
+        cache.zzone.item_count,
+        "items in",
+        format_bytes(cache.zzone.used_bytes),
+        f"({cache.zzone.block_count} compressed blocks)",
+    )
+    usage = cache.zzone.memory_usage()
+    if usage["compressed_items"]:
+        ratio = usage["uncompressed_items"] / usage["compressed_items"]
+        print(f"Z-zone effective compression: {ratio:.2f}x")
+    print("demotions N->Z:", stats.demotions, "| promotions Z->N:", stats.promotions)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""zExpander reproduction — a two-zone key-value cache.
+
+Reimplementation of *zExpander: a Key-Value Cache with both High
+Performance and Fewer Misses* (Wu et al., EuroSys 2016), including every
+substrate the paper's evaluation depends on: a memcached behavioural
+model, a MemC3-style cuckoo+CLOCK cache, replacement-policy simulators
+(LRU/LIRS/ARC/LRU-X), an LZ4 block codec, workload synthesisers for the
+Facebook/YCSB traces, and a calibrated performance model.
+
+Quickstart::
+
+    from repro import ZExpander, ZExpanderConfig
+
+    cache = ZExpander(ZExpanderConfig(total_capacity=64 * 1024 * 1024))
+    cache.set(b"user:42", b"value bytes")
+    assert cache.get(b"user:42") == b"value bytes"
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.common.clock import VirtualClock
+from repro.common.records import KVItem, Operation, Request
+from repro.common.units import GB, KB, MB, format_bytes, parse_size
+from repro.core import (
+    SimpleKVCache,
+    ZExpander,
+    ZExpanderConfig,
+    ZExpanderStats,
+    replay_trace,
+)
+from repro.compression import (
+    LZ4Compressor,
+    ModelCompressor,
+    NullCompressor,
+    ZlibCompressor,
+)
+from repro.nzone import HPCacheZone, MemcachedZone, PlainZone
+from repro.zzone import ZZone
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "HPCacheZone",
+    "KVItem",
+    "LZ4Compressor",
+    "MemcachedZone",
+    "ModelCompressor",
+    "NullCompressor",
+    "Operation",
+    "PlainZone",
+    "Request",
+    "SimpleKVCache",
+    "VirtualClock",
+    "ZExpander",
+    "ZExpanderConfig",
+    "ZExpanderStats",
+    "ZZone",
+    "ZlibCompressor",
+    "format_bytes",
+    "parse_size",
+    "replay_trace",
+    "__version__",
+]

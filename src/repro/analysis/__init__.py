@@ -1,0 +1,12 @@
+"""Analysis helpers: CDFs, base-cache sizing, table formatting."""
+
+from repro.analysis.base_cache import base_cache_size
+from repro.analysis.cdf import access_cdf, coverage_point
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "access_cdf",
+    "base_cache_size",
+    "coverage_point",
+    "format_table",
+]

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for bench and experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned; floats shown with 4 significant decimals
+    unless already strings.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.4g}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

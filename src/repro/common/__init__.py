@@ -1,0 +1,33 @@
+"""Shared low-level utilities used by every subsystem.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`,
+so any module may import from it without creating cycles.
+"""
+
+from repro.common.errors import (
+    CacheError,
+    CapacityError,
+    ConfigurationError,
+    ItemTooLargeError,
+)
+from repro.common.hashing import fnv1a_64, hash_key, murmur3_32
+from repro.common.records import KVItem, Operation, Request
+from repro.common.units import GB, KB, MB, format_bytes, parse_size
+
+__all__ = [
+    "CacheError",
+    "CapacityError",
+    "ConfigurationError",
+    "ItemTooLargeError",
+    "fnv1a_64",
+    "hash_key",
+    "murmur3_32",
+    "KVItem",
+    "Operation",
+    "Request",
+    "GB",
+    "KB",
+    "MB",
+    "format_bytes",
+    "parse_size",
+]

@@ -1,0 +1,44 @@
+"""Virtual time.
+
+All time-dependent machinery in the cache (adaptive-allocation windows,
+marker ages, re-use times, deferred deletions) reads an injected clock
+instead of the wall clock, so tests and benches are deterministic and the
+Figure 15/16 timelines can be replayed at any speed.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock, in seconds.
+
+    The clock never moves on its own; callers advance it explicitly with
+    :meth:`advance` or :meth:`set`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump the clock to ``timestamp`` (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"time cannot move backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the zExpander reproduction.
+
+All library errors derive from :class:`CacheError` so callers can catch one
+base class.  Programming errors (wrong types, impossible arguments) raise the
+built-in ``ValueError``/``TypeError`` instead.
+"""
+
+
+class CacheError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(CacheError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class CapacityError(CacheError):
+    """An operation could not complete within the configured byte budget."""
+
+
+class ItemTooLargeError(CapacityError):
+    """A single KV item exceeds what the target structure can ever store."""
+
+    def __init__(self, key: bytes, item_size: int, limit: int) -> None:
+        super().__init__(
+            f"item {key!r} of {item_size} B exceeds the structure limit of {limit} B"
+        )
+        self.key = key
+        self.item_size = item_size
+        self.limit = limit

@@ -1,0 +1,61 @@
+"""Request and item records shared by workloads, zones, and simulators."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Operation(enum.Enum):
+    """The three operations of the paper's KV-cache interface."""
+
+    GET = "GET"
+    SET = "SET"
+    DELETE = "DELETE"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request in a trace.
+
+    ``value`` is only populated for SET requests whose bench materialises
+    real bytes; miss-ratio simulations that only need sizes carry
+    ``value_size`` and leave ``value`` as ``None`` to keep traces small.
+    """
+
+    op: Operation
+    key: bytes
+    value: Optional[bytes] = None
+    value_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.value is not None and self.value_size == 0:
+            object.__setattr__(self, "value_size", len(self.value))
+
+    @property
+    def size(self) -> int:
+        """Uncompressed size of the item this request carries or targets."""
+        return len(self.key) + self.value_size
+
+
+@dataclass
+class KVItem:
+    """A key-value item as stored in a cache zone."""
+
+    key: bytes
+    value: bytes
+    hashed_key: int = field(default=-1)
+
+    @property
+    def size(self) -> int:
+        """Uncompressed payload size (key plus value bytes)."""
+        return len(self.key) + len(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KVItem):
+            return NotImplemented
+        return self.key == other.key and self.value == other.value
+
+    def __hash__(self) -> int:  # pragma: no cover - identity convenience
+        return hash((self.key, self.value))

@@ -1,0 +1,31 @@
+"""Compression codecs and measurement utilities.
+
+The paper uses LZ4 on 2 KB containers.  LZ4 is not available offline, so the
+default real codec is :class:`ZlibCompressor` at level 1 — also an LZ-family
+byte-oriented codec whose ratio grows with container size the same way.  For
+large analytic sweeps where byte-level work would dominate runtime,
+:class:`ModelCompressor` charges a calibrated ratio without touching bytes.
+"""
+
+from repro.compression.base import Compressed, Compressor
+from repro.compression.lz4 import LZ4Compressor
+from repro.compression.model import ModelCompressor
+from repro.compression.null import NullCompressor
+from repro.compression.ratios import (
+    container_compression_ratio,
+    individual_compression_ratio,
+    pack_into_containers,
+)
+from repro.compression.zlibc import ZlibCompressor
+
+__all__ = [
+    "Compressed",
+    "Compressor",
+    "LZ4Compressor",
+    "ModelCompressor",
+    "NullCompressor",
+    "ZlibCompressor",
+    "container_compression_ratio",
+    "individual_compression_ratio",
+    "pack_into_containers",
+]

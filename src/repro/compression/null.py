@@ -1,0 +1,22 @@
+"""Identity codec for baselines and ablations."""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressed, Compressor
+
+
+class NullCompressor(Compressor):
+    """Stores containers verbatim; ratio is always 1.0.
+
+    Used by the "zExpander without compression" ablation and wherever a
+    zone needs the block machinery (compaction, trie, filters) but not the
+    codec cost.
+    """
+
+    name = "null"
+
+    def compress(self, data: bytes) -> Compressed:
+        return Compressed(payload=data, stored_size=len(data))
+
+    def decompress(self, compressed: Compressed) -> bytes:
+        return compressed.payload

@@ -1,0 +1,52 @@
+"""DEFLATE-backed codec — the offline stand-in for the paper's LZ4."""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compression.base import Compressed, Compressor
+
+
+class ZlibCompressor(Compressor):
+    """Raw-DEFLATE compression via the stdlib :mod:`zlib`.
+
+    Level 1 is the default to mirror LZ4's speed-oriented design point; the
+    level is configurable for ablations.  Raw streams (negative ``wbits``)
+    drop zlib's 6-byte header/checksum so small containers are not penalised
+    — important because the paper's containers start at 256 B.
+
+    If compression would *grow* the container (common for tiny or
+    already-random inputs), the original bytes are stored verbatim behind a
+    one-byte marker, so ``stored_size`` never exceeds ``len(data) + 1`` —
+    matching how production caches guard against incompressible values.
+    """
+
+    _RAW = b"\x00"
+    _DEFLATE = b"\x01"
+    _WBITS = -15
+
+    def __init__(self, level: int = 1) -> None:
+        if not -1 <= level <= 9:
+            raise ValueError(f"zlib level must be in [-1, 9], got {level}")
+        self.level = level
+        self.name = f"deflate-{level}"
+
+    def compress(self, data: bytes) -> Compressed:
+        encoder = zlib.compressobj(self.level, zlib.DEFLATED, self._WBITS)
+        packed = encoder.compress(data) + encoder.flush()
+        if len(packed) < len(data):
+            payload = self._DEFLATE + packed
+        else:
+            payload = self._RAW + data
+        return Compressed(payload=payload, stored_size=len(payload))
+
+    def decompress(self, compressed: Compressed) -> bytes:
+        payload = compressed.payload
+        if not payload:
+            raise ValueError("empty compressed payload")
+        marker, body = payload[:1], payload[1:]
+        if marker == self._DEFLATE:
+            return zlib.decompress(body, self._WBITS)
+        if marker == self._RAW:
+            return body
+        raise ValueError(f"unknown container marker {marker!r}")

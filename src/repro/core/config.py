@@ -1,0 +1,76 @@
+"""Configuration for a :class:`~repro.core.zexpander.ZExpander` instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.compression.base import Compressor
+from repro.nzone.base import NZone
+from repro.zzone.zzone import DEFAULT_BLOCK_CAPACITY
+
+
+@dataclass
+class ZExpanderConfig:
+    """All tunables, defaulted to the paper's choices.
+
+    * ``target_service_fraction`` — the fraction of (expensive) requests
+      that should be handled by the N-zone; 90 % by default (§3.3.1).
+    * ``adjustment_step`` — each adaptation moves the N-zone target by 3 %
+      of the total cache space (§3.3.1).
+    * ``window_seconds`` — adaptation check period, one minute (§3.3.1).
+    * ``block_capacity`` — Z-zone container capacity, 2 KB (§3.2).
+    * ``benchmark_weights`` — weighted average over the three most recent
+      marker samples (§3.3.2), most recent first.
+    """
+
+    total_capacity: int
+    nzone_fraction: float = 0.3
+    nzone_factory: Optional[Callable[[int], NZone]] = None
+    compressor: Optional[Compressor] = None
+    block_capacity: int = DEFAULT_BLOCK_CAPACITY
+    adaptive: bool = True
+    target_service_fraction: float = 0.90
+    service_fraction_slack: float = 0.02
+    adjustment_step: float = 0.03
+    window_seconds: float = 60.0
+    marker_interval_seconds: float = 10.0
+    benchmark_weights: Tuple[float, float, float] = (0.5, 0.3, 0.2)
+    min_zone_fraction: float = 0.05
+    seed: int = 0
+    #: Ablation knobs: "reuse-time" is the paper's §3.3.2 rule; "always"
+    #: promotes every Z-zone hit; "never" leaves items in place.
+    promotion_policy: str = "reuse-time"
+    use_content_filter: bool = True
+    use_access_filter: bool = True
+
+    def validate(self) -> None:
+        if self.total_capacity <= 0:
+            raise ConfigurationError("total_capacity must be positive")
+        if not 0.0 < self.nzone_fraction < 1.0:
+            raise ConfigurationError("nzone_fraction must be in (0, 1)")
+        if not 0.0 < self.target_service_fraction < 1.0:
+            raise ConfigurationError("target_service_fraction must be in (0, 1)")
+        if not 0.0 < self.adjustment_step < 0.5:
+            raise ConfigurationError("adjustment_step must be in (0, 0.5)")
+        if self.window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        if self.marker_interval_seconds <= 0:
+            raise ConfigurationError("marker_interval_seconds must be positive")
+        if len(self.benchmark_weights) != 3 or any(
+            w < 0 for w in self.benchmark_weights
+        ):
+            raise ConfigurationError("benchmark_weights must be 3 non-negatives")
+        if sum(self.benchmark_weights) <= 0:
+            raise ConfigurationError("benchmark_weights must not all be zero")
+        if not 0.0 < self.min_zone_fraction < 0.5:
+            raise ConfigurationError("min_zone_fraction must be in (0, 0.5)")
+        if not self.min_zone_fraction <= self.nzone_fraction <= 1 - self.min_zone_fraction:
+            raise ConfigurationError(
+                "nzone_fraction must respect min_zone_fraction on both sides"
+            )
+        if self.promotion_policy not in ("reuse-time", "always", "never"):
+            raise ConfigurationError(
+                f"unknown promotion_policy {self.promotion_policy!r}"
+            )

@@ -1,0 +1,71 @@
+"""Key expiration (TTL) support.
+
+memcached's API carries an ``exptime`` on every SET; the paper's
+prototypes ignore it, but a production cache cannot.  This module adds
+TTLs *above* the zones: an :class:`ExpiryIndex` maps keys to deadlines
+and keeps a heap of due times, so the cache can both answer "is this key
+expired?" in O(1) on the read path and proactively purge due keys during
+housekeeping without scanning.
+
+Keeping expiry out of the zones preserves the paper's design (blocks and
+N-zone items stay TTL-agnostic); the trade-off — an expired item keeps
+occupying cache space until read or purged — matches how memcached's own
+lazy expiration behaves between LRU touches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Modelled bytes per tracked key: key hash + deadline + heap entry.
+ENTRY_OVERHEAD_BYTES = 24
+
+
+class ExpiryIndex:
+    """Deadline bookkeeping with lazy-validated heap entries."""
+
+    def __init__(self) -> None:
+        self._deadline: Dict[bytes, float] = {}
+        self._heap: List[Tuple[float, bytes]] = []
+
+    def __len__(self) -> int:
+        return len(self._deadline)
+
+    def set(self, key: bytes, deadline: Optional[float]) -> None:
+        """Track ``key`` until ``deadline``; None clears any TTL."""
+        if deadline is None:
+            self._deadline.pop(key, None)
+            return
+        self._deadline[key] = deadline
+        heapq.heappush(self._heap, (deadline, key))
+
+    def clear(self, key: bytes) -> None:
+        """Forget ``key`` (deleted or overwritten without a TTL)."""
+        self._deadline.pop(key, None)
+
+    def is_expired(self, key: bytes, now: float) -> bool:
+        deadline = self._deadline.get(key)
+        return deadline is not None and now >= deadline
+
+    def pop_due(self, now: float, limit: int = 64) -> Iterator[bytes]:
+        """Yield up to ``limit`` keys whose deadlines have passed.
+
+        Heap entries are validated against the live map, so overwritten
+        deadlines (stale entries) are skipped without cost blowups.
+        """
+        yielded = 0
+        while self._heap and yielded < limit:
+            deadline, key = self._heap[0]
+            if deadline > now:
+                return
+            heapq.heappop(self._heap)
+            if self._deadline.get(key) == deadline:
+                del self._deadline[key]
+                yielded += 1
+                yield key
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modelled footprint: map entries plus outstanding heap slots."""
+        return len(self._deadline) * ENTRY_OVERHEAD_BYTES + len(self._heap) * 8

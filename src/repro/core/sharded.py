@@ -1,0 +1,115 @@
+"""Sharded zExpander: N independent instances behind one interface.
+
+Production memcached deployments spread a key space over many servers;
+the paper measures one server.  :class:`ShardedZExpander` models the
+fleet-level view — consistent placement by key hash, per-shard zExpander
+instances, aggregated statistics — so experiments can ask fleet questions
+(e.g. how per-shard adaptation behaves under skew, where the hottest
+shard's miss ratio sits relative to the fleet's).
+
+This is an extension beyond the paper (its future work discusses porting
+more KV caches into zExpander; sharding is the deployment-shaped
+counterpart).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import hash_key
+from repro.core.config import ZExpanderConfig
+from repro.core.stats import ZExpanderStats
+from repro.core.zexpander import ZExpander
+
+
+class ShardedZExpander:
+    """A fixed pool of zExpander shards addressed by key hash.
+
+    The total budget is divided evenly; each shard runs the full policy
+    stack (markers, promotion, adaptation) independently, exactly as
+    independent servers would.
+    """
+
+    def __init__(
+        self,
+        config: ZExpanderConfig,
+        num_shards: int,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        per_shard = config.total_capacity // num_shards
+        if per_shard <= 0:
+            raise ConfigurationError("total_capacity too small for the shard count")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.num_shards = num_shards
+        self.shards: List[ZExpander] = []
+        for shard_index in range(num_shards):
+            shard_config = ZExpanderConfig(**{**vars(config)})
+            shard_config.total_capacity = per_shard
+            shard_config.seed = config.seed + shard_index
+            self.shards.append(ZExpander(shard_config, clock=self.clock))
+
+    # -- placement -------------------------------------------------------------
+
+    def shard_for(self, key: bytes) -> ZExpander:
+        """The shard responsible for ``key`` (consistent by key hash).
+
+        Uses the *low* bits of the placement hash: the Z-zone trie
+        consumes the high bits, so shard choice and block placement stay
+        statistically independent.
+        """
+        return self.shards[hash_key(key) % self.num_shards]
+
+    # -- KV interface ---------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.shard_for(key).get(key)
+
+    def set(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        self.shard_for(key).set(key, value, ttl=ttl)
+
+    def delete(self, key: bytes) -> bool:
+        return self.shard_for(key).delete(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self.shard_for(key)
+
+    # -- aggregation -------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return sum(shard.capacity for shard in self.shards)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(shard.used_bytes for shard in self.shards)
+
+    @property
+    def item_count(self) -> int:
+        return sum(shard.item_count for shard in self.shards)
+
+    def aggregate_stats(self) -> ZExpanderStats:
+        """Fleet-wide counter totals."""
+        total = ZExpanderStats()
+        for shard in self.shards:
+            for name, value in vars(shard.stats).items():
+                setattr(total, name, getattr(total, name) + value)
+        return total
+
+    def shard_miss_ratios(self) -> List[float]:
+        return [shard.stats.miss_ratio for shard in self.shards]
+
+    def imbalance(self) -> float:
+        """Max-over-mean item count across shards (1.0 = perfectly even)."""
+        counts = [shard.item_count for shard in self.shards]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean
+
+    def check_invariants(self) -> None:
+        for shard in self.shards:
+            shard.check_invariants()

@@ -1,0 +1,62 @@
+"""Single-zone baseline cache.
+
+Wraps any :class:`~repro.nzone.base.NZone` behind the same GET/SET/DELETE
+surface as :class:`~repro.core.zexpander.ZExpander`, so benches can swap
+"memcached alone" or "H-Cache alone" for zExpander without changing the
+replay loop.  Evictions simply leave the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.stats import ZExpanderStats
+from repro.nzone.base import NZone
+
+
+class SimpleKVCache:
+    """Baseline: one N-zone, no compression, no second chance."""
+
+    def __init__(self, nzone: NZone) -> None:
+        self.nzone = nzone
+        self.stats = ZExpanderStats()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self.stats.gets += 1
+        value = self.nzone.get(key)
+        if value is not None:
+            self.stats.get_hits_nzone += 1
+            self.stats.serviced_nzone += 1
+        else:
+            self.stats.get_misses += 1
+        return value
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.stats.sets += 1
+        self.stats.serviced_nzone += 1
+        self.nzone.set(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        self.stats.deletes += 1
+        return self.nzone.delete(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self.nzone
+
+    @property
+    def item_count(self) -> int:
+        return self.nzone.item_count
+
+    @property
+    def used_bytes(self) -> int:
+        return self.nzone.used_bytes
+
+    @property
+    def capacity(self) -> int:
+        return self.nzone.capacity
+
+    def memory_usage(self) -> Dict[str, Dict[str, int]]:
+        return {"nzone": self.nzone.memory_usage()}
+
+    def check_invariants(self) -> None:
+        self.nzone.check_invariants()

@@ -1,0 +1,289 @@
+"""The zExpander cache (§3).
+
+Request routing (§3):
+
+* GET — try the N-zone; on miss, try the Z-zone.  A Z-zone hit may promote
+  the item into the N-zone if its measured re-use time beats the N-zone's
+  locality benchmark (§3.3.2).
+* SET — always admitted by the N-zone.  If an older version may live in
+  the Z-zone (Content-Filter check), its removal is postponed by at least
+  the locality benchmark so it can be merged with a future eviction
+  (§3.3.2).
+* DELETE — performed at both zones.
+* N-zone evictions are admitted into the Z-zone (demotion); marker keys
+  are intercepted instead and update the benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ItemTooLargeError
+from repro.common.hashing import hash_key
+from repro.core.adaptive import AdaptiveAllocator
+from repro.core.config import ZExpanderConfig
+from repro.core.expiry import ExpiryIndex
+from repro.core.marker import LocalityBenchmark, MARKER_VALUE, is_marker_key
+from repro.core.stats import ZExpanderStats
+from repro.nzone.base import EvictedItem, NZone
+from repro.nzone.hpcache import HPCacheZone
+from repro.zzone.zzone import ZZone
+
+
+class ZExpander:
+    """Two-zone KV cache: fast N-zone + compressed Z-zone."""
+
+    def __init__(
+        self,
+        config: ZExpanderConfig,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.clock = clock if clock is not None else VirtualClock()
+        self.stats = ZExpanderStats()
+        nzone_capacity = int(config.total_capacity * config.nzone_fraction)
+        factory = config.nzone_factory or (
+            lambda capacity: HPCacheZone(capacity, seed=config.seed)
+        )
+        self.nzone: NZone = factory(nzone_capacity)
+        self.zzone = ZZone(
+            capacity=config.total_capacity - nzone_capacity,
+            compressor=config.compressor,
+            block_capacity=config.block_capacity,
+            clock=self.clock,
+            seed=config.seed,
+            use_content_filter=config.use_content_filter,
+            use_access_filter=config.use_access_filter,
+        )
+        self.benchmark = LocalityBenchmark(config.benchmark_weights)
+        self.allocator: Optional[AdaptiveAllocator] = None
+        if config.adaptive:
+            self.allocator = AdaptiveAllocator(
+                total_capacity=config.total_capacity,
+                initial_nzone_target=nzone_capacity,
+                target_fraction=config.target_service_fraction,
+                slack=config.service_fraction_slack,
+                step_fraction=config.adjustment_step,
+                window_seconds=config.window_seconds,
+                min_zone_fraction=config.min_zone_fraction,
+            )
+        self._last_marker_time: Optional[float] = None
+        self._expiry = ExpiryIndex()
+
+    # -- public API ----------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up ``key``; N-zone first, then the Z-zone.
+
+        Expired keys answer None and are removed (lazy expiration, as in
+        memcached).
+        """
+        self._housekeeping()
+        self.stats.gets += 1
+        if self._expiry.is_expired(key, self.clock.now()):
+            self._expire(key)
+            self.stats.get_misses += 1
+            return None
+        value = self.nzone.get(key)
+        if value is not None:
+            self.stats.get_hits_nzone += 1
+            self._record_service(nzone=True)
+            return value
+        hashed = hash_key(key)
+        result = self.zzone.get(key, hashed)
+        if result is None:
+            self.stats.get_misses += 1
+            # Filter-identified misses are cheap and count for neither
+            # zone (§3.3.1); a false positive did cost a decompression.
+            return None
+        zvalue, reuse_time = result
+        self.stats.get_hits_zzone += 1
+        self._record_service(nzone=False)
+        if self._should_promote(reuse_time):
+            self._promote(key, hashed, zvalue)
+        return zvalue
+
+    def set(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        """Insert or update ``key``; always admitted by the N-zone.
+
+        ``ttl`` (seconds) bounds the item's lifetime; omitting it on an
+        overwrite clears any previous TTL, matching memcached semantics
+        where every SET carries its own exptime.
+        """
+        self._housekeeping()
+        self.stats.sets += 1
+        self._record_service(nzone=True)
+        if ttl is not None:
+            if ttl <= 0:
+                raise ValueError(f"ttl must be positive, got {ttl}")
+            self._expiry.set(key, self.clock.now() + ttl)
+        else:
+            self._expiry.clear(key)
+        hashed = hash_key(key)
+        # Postpone removal of a stale Z-zone version (§3.3.2): if the item
+        # is evicted before the deadline the removal merges with the write.
+        if self.zzone.maybe_contains(key, hashed):
+            delay = self.benchmark.value or 0.0
+            self.zzone.schedule_removal(key, hashed, self.clock.now() + delay)
+            self.stats.postponed_removals += 1
+        self._set_into_nzone(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key`` from both zones (§3)."""
+        self._housekeeping()
+        self.stats.deletes += 1
+        self._expiry.clear(key)
+        in_n = self.nzone.delete(key)
+        hashed = hash_key(key)
+        was_expensive = self.zzone.maybe_contains(key, hashed)
+        in_z = self.zzone.delete(key, hashed)
+        if in_n or was_expensive:
+            self._record_service(nzone=not was_expensive)
+        return in_n or in_z
+
+    def __contains__(self, key: bytes) -> bool:
+        """Residency test without recency side effects (filters only for Z)."""
+        if self._expiry.is_expired(key, self.clock.now()):
+            return False
+        return key in self.nzone or self.zzone.maybe_contains(key)
+
+    @property
+    def item_count(self) -> int:
+        return self.nzone.item_count + self.zzone.item_count
+
+    @property
+    def used_bytes(self) -> int:
+        return self.nzone.used_bytes + self.zzone.used_bytes
+
+    @property
+    def capacity(self) -> int:
+        return self.config.total_capacity
+
+    def memory_usage(self) -> Dict[str, Dict[str, int]]:
+        """Per-zone byte breakdowns."""
+        return {
+            "nzone": self.nzone.memory_usage(),
+            "zzone": self.zzone.memory_usage(),
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _record_service(self, nzone: bool) -> None:
+        if nzone:
+            self.stats.serviced_nzone += 1
+            if self.allocator is not None:
+                self.allocator.record_nzone()
+        else:
+            self.stats.serviced_zzone += 1
+            if self.allocator is not None:
+                self.allocator.record_zzone()
+
+    def _should_promote(self, reuse_time: Optional[float]) -> bool:
+        policy = self.config.promotion_policy
+        if policy == "always":
+            return True
+        if policy == "never":
+            return False
+        if reuse_time is None:
+            # First recorded access: record-only, never move (§3.3.2).
+            return False
+        benchmark = self.benchmark.value
+        if benchmark is None:
+            # No marker data yet: any observed re-use is treated as hot.
+            return True
+        if reuse_time < benchmark:
+            return True
+        self.stats.promotions_declined += 1
+        return False
+
+    def _promote(self, key: bytes, hashed: int, value: bytes) -> None:
+        self.zzone.delete(key, hashed)
+        self.stats.promotions += 1
+        self._set_into_nzone(key, value)
+
+    def _set_into_nzone(self, key: bytes, value: bytes) -> None:
+        evicted = self.nzone.set(key, value)
+        self._absorb_evictions(evicted)
+
+    def _absorb_evictions(self, evicted: List[EvictedItem]) -> None:
+        now = self.clock.now()
+        for item in evicted:
+            if is_marker_key(item.key):
+                sample = self.benchmark.observe_eviction(item.key, now)
+                if sample is not None:
+                    self.stats.marker_samples += 1
+                continue
+            self.stats.demotions += 1
+            self._record_service(nzone=False)
+            try:
+                self.zzone.put(item.key, item.value)
+            except ItemTooLargeError:
+                # Larger than the whole Z-zone: drop it, as any cache must.
+                continue
+
+    def _expire(self, key: bytes) -> None:
+        """Drop an expired key from both zones."""
+        self._expiry.clear(key)
+        self.nzone.delete(key)
+        hashed = hash_key(key)
+        if self.zzone.maybe_contains(key, hashed):
+            self.zzone.delete(key, hashed)
+        self.stats.expirations += 1
+
+    def _housekeeping(self) -> None:
+        now = self.clock.now()
+        for key in list(self._expiry.pop_due(now)):
+            self.nzone.delete(key)
+            hashed = hash_key(key)
+            if self.zzone.maybe_contains(key, hashed):
+                self.zzone.delete(key, hashed)
+            self.stats.expirations += 1
+        self._maybe_issue_marker(now)
+        self._maybe_adapt(now)
+
+    def _maybe_issue_marker(self, now: float) -> None:
+        if self._last_marker_time is None:
+            # Open the first interval without issuing: a marker written
+            # into a still-cold N-zone would measure fill time, not
+            # locality strength.
+            self._last_marker_time = now
+            return
+        if now - self._last_marker_time < self.config.marker_interval_seconds:
+            return
+        self._last_marker_time = now
+        marker_key = self.benchmark.mint(now)
+        self.stats.marker_sets += 1
+        # Markers go straight to the N-zone; they are not client requests
+        # and never count toward service fractions.
+        self._absorb_evictions(self.nzone.set(marker_key, MARKER_VALUE))
+
+    def _maybe_adapt(self, now: float) -> None:
+        if self.allocator is None:
+            return
+        if not self.allocator.maybe_adjust(now):
+            return
+        self.stats.allocation_adjustments += 1
+        self._apply_targets()
+
+    def _apply_targets(self) -> None:
+        """Resize both zones toward the allocator's targets.
+
+        Shrinking the N-zone spills its coldest items into the Z-zone (the
+        paper's background mover); shrinking the Z-zone evicts.  The Z-zone
+        is resized first when it must shrink so the cache never exceeds its
+        total budget mid-transition.
+        """
+        n_target = self.allocator.nzone_target
+        z_target = self.allocator.zzone_target
+        if z_target < self.zzone.capacity:
+            self.zzone.resize(z_target)
+            self._absorb_evictions(self.nzone.resize(n_target))
+        else:
+            self._absorb_evictions(self.nzone.resize(n_target))
+            self.zzone.resize(z_target)
+
+    def check_invariants(self) -> None:
+        self.nzone.check_invariants()
+        self.zzone.check_invariants()

@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+Every module exposes ``run(...)`` returning a result object with ``rows``
+(structured data) and ``table()`` (the printable reproduction of the
+paper's rows/series).  The benchmarks under ``benchmarks/`` wrap these
+with pytest-benchmark; the modules can also be run directly::
+
+    python -m repro.experiments.fig01_access_cdf
+"""
+
+from repro.experiments.common import Scale, build_trace, build_value_source
+
+__all__ = ["Scale", "build_trace", "build_value_source"]

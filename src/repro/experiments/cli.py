@@ -1,0 +1,110 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli run fig05 tab02
+    python -m repro.experiments.cli run all --keys 8000 --requests 160000
+
+Each experiment prints the same rows/series the paper reports; scale
+flags shrink runs for quick looks (committed bench outputs use the
+default scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Dict
+
+from repro.experiments.common import BENCH_SCALE, Scale
+
+#: Short name -> (module, description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig01": ("repro.experiments.fig01_access_cdf", "access CDF / long-tail coverage"),
+    "fig02": ("repro.experiments.fig02_miss_curves", "miss ratios: LRU/LIRS/ARC vs size"),
+    "tab01": ("repro.experiments.tab01_miss_removal", "misses removed vs LRU-X reference"),
+    "tab02": ("repro.experiments.tab02_compression", "compression ratio vs container size"),
+    "fig05": ("repro.experiments.fig05_memcached_miss", "miss ratio: memcached vs M-zExpander"),
+    "fig06": ("repro.experiments.fig06_cached_bytes", "uncompressed KV bytes cached"),
+    "fig07": ("repro.experiments.fig07_memory_breakdown", "memory breakdown of 3 organisations"),
+    "fig08": ("repro.experiments.fig08_memcached_tput", "single-thread throughput (memcached)"),
+    "fig09": ("repro.experiments.fig09_memcached_threads", "throughput vs threads (memcached)"),
+    "fig10": ("repro.experiments.fig10_hp_tput", "throughput vs threads (H-prototypes)"),
+    "fig11": ("repro.experiments.fig11_latency_cdf", "request-time CDFs at 24 threads"),
+    "fig12": ("repro.experiments.fig12_miss_rate", "miss rate (misses/second)"),
+    "fig13": ("repro.experiments.fig13_bloom", "Content-Filter throughput gains"),
+    "fig14": ("repro.experiments.fig14_threshold", "N-zone target threshold sweep"),
+    "fig15": ("repro.experiments.fig15_adaptation", "adaptive allocation timeline"),
+    "fig16": ("repro.experiments.fig16_adaptation_perf", "adaptation miss/throughput"),
+    "abl-block": ("repro.experiments.abl_block_size", "ablation: block capacity sweep"),
+    "abl-index": ("repro.experiments.abl_index", "ablation: trie vs per-item indexes"),
+    "abl-sweep": ("repro.experiments.abl_zreplacement", "ablation: Access-Filter sweep"),
+    "abl-promo": ("repro.experiments.abl_promotion", "ablation: promotion policies"),
+    "abl-codec": ("repro.experiments.abl_codec", "ablation: Z-zone codec choice"),
+    "abl-hzx": ("repro.experiments.abl_hzx_capacity", "ablation: H-zX miss advantage vs size"),
+}
+
+#: Experiments whose run() takes no Scale (they build their own inputs).
+_SCALELESS = {"tab02", "fig07", "abl-block", "abl-index", "abl-codec"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the zExpander paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all'",
+    )
+    run_parser.add_argument("--keys", type=int, default=BENCH_SCALE.num_keys)
+    run_parser.add_argument(
+        "--requests", type=int, default=BENCH_SCALE.num_requests
+    )
+    run_parser.add_argument("--seed", type=int, default=BENCH_SCALE.seed)
+    return parser
+
+
+def run_experiment(name: str, scale: Scale) -> None:
+    module_name, _description = EXPERIMENTS[name]
+    module = importlib.import_module(module_name)
+    started = time.time()
+    if name in _SCALELESS:
+        result = module.run()
+    else:
+        result = module.run(scale)
+    elapsed = time.time() - started
+    print(result.table())
+    print(f"[{name} finished in {elapsed:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_module, description) in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+    names = list(args.names)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see what is available", file=sys.stderr)
+        return 2
+    scale = Scale(num_keys=args.keys, num_requests=args.requests, seed=args.seed)
+    for name in names:
+        run_experiment(name, scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+ARC balances recency (list T1) against frequency (list T2), steered by two
+ghost lists (B1, B2) of recently evicted keys.  The original algorithm is
+unit-size; this implementation generalises the list budgets and the
+adaptation delta to byte sizes, the standard adaptation for variable-size
+KV items.
+
+Per the paper's Figure 2 note, ghost-list metadata is not charged against
+the reported cache size (that bookkeeping cost is exactly the argument
+Section 2 makes *against* deploying ARC in KV caches).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.replacement.base import EvictingCache, admit_oversized
+
+
+class ARCCache(EvictingCache):
+    """Size-aware ARC."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._t1: "OrderedDict[int, int]" = OrderedDict()  # recency, resident
+        self._t2: "OrderedDict[int, int]" = OrderedDict()  # frequency, resident
+        self._b1: "OrderedDict[int, int]" = OrderedDict()  # recency ghosts
+        self._b2: "OrderedDict[int, int]" = OrderedDict()  # frequency ghosts
+        self._t1_bytes = 0
+        self._t2_bytes = 0
+        self._b1_bytes = 0
+        self._b2_bytes = 0
+        #: Adaptation target for T1's byte share of the cache.
+        self._p = 0.0
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _replace(self, in_b2: bool) -> None:
+        """Evict one item from T1 or T2 into the matching ghost list.
+
+        Mirrors ARC's REPLACE subroutine: prefer T1 when it exceeds the
+        target p (or exactly meets it while the hit came from B2).
+        """
+        if self._t1 and (
+            self._t1_bytes > self._p or (in_b2 and self._t1_bytes >= self._p)
+        ):
+            key, size = self._t1.popitem(last=False)
+            self._t1_bytes -= size
+            self._b1[key] = size
+            self._b1_bytes += size
+        elif self._t2:
+            key, size = self._t2.popitem(last=False)
+            self._t2_bytes -= size
+            self._b2[key] = size
+            self._b2_bytes += size
+        elif self._t1:  # T2 empty; must take from T1 regardless of p
+            key, size = self._t1.popitem(last=False)
+            self._t1_bytes -= size
+            self._b1[key] = size
+            self._b1_bytes += size
+        self._used = self._t1_bytes + self._t2_bytes
+
+    def _make_room(self, incoming: int, in_b2: bool) -> None:
+        while self._t1_bytes + self._t2_bytes + incoming > self.capacity and (
+            self._t1 or self._t2
+        ):
+            self._replace(in_b2)
+
+    def _trim_ghosts(self) -> None:
+        # |T1| + |B1| <= c  and  total <= 2c, in bytes.
+        while self._b1 and self._t1_bytes + self._b1_bytes > self.capacity:
+            _key, size = self._b1.popitem(last=False)
+            self._b1_bytes -= size
+        total_cap = 2 * self.capacity
+        while self._b2 and (
+            self._t1_bytes
+            + self._t2_bytes
+            + self._b1_bytes
+            + self._b2_bytes
+            > total_cap
+        ):
+            _key, size = self._b2.popitem(last=False)
+            self._b2_bytes -= size
+
+    # -- EvictingCache interface --------------------------------------------
+
+    def access(self, key: int, size: int) -> bool:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+
+        # Case I: hit in T1 or T2 -> promote to T2 MRU.
+        if key in self._t1:
+            old = self._t1.pop(key)
+            self._t1_bytes -= old
+            self._t2[key] = size
+            self._t2_bytes += size
+            self._used = self._t1_bytes + self._t2_bytes
+            self._make_room(0, in_b2=False)
+            return True
+        if key in self._t2:
+            old = self._t2.pop(key)
+            self._t2_bytes += size - old
+            self._t2[key] = size
+            self._used = self._t1_bytes + self._t2_bytes
+            self._make_room(0, in_b2=False)
+            return True
+
+        if admit_oversized(self, size):
+            return False
+
+        # Case II: ghost hit in B1 -> grow p, admit into T2.
+        if key in self._b1:
+            ratio = self._b2_bytes / self._b1_bytes if self._b1_bytes else 1.0
+            self._p = min(float(self.capacity), self._p + max(1.0, ratio) * size)
+            ghost_size = self._b1.pop(key)
+            self._b1_bytes -= ghost_size
+            self._make_room(size, in_b2=False)
+            self._t2[key] = size
+            self._t2_bytes += size
+            self._used = self._t1_bytes + self._t2_bytes
+            self._trim_ghosts()
+            return False
+
+        # Case III: ghost hit in B2 -> shrink p, admit into T2.
+        if key in self._b2:
+            ratio = self._b1_bytes / self._b2_bytes if self._b2_bytes else 1.0
+            self._p = max(0.0, self._p - max(1.0, ratio) * size)
+            ghost_size = self._b2.pop(key)
+            self._b2_bytes -= ghost_size
+            self._make_room(size, in_b2=True)
+            self._t2[key] = size
+            self._t2_bytes += size
+            self._used = self._t1_bytes + self._t2_bytes
+            self._trim_ghosts()
+            return False
+
+        # Case IV: brand-new key -> admit into T1.
+        l1_bytes = self._t1_bytes + self._b1_bytes
+        if l1_bytes + size > self.capacity:
+            if self._b1:
+                # Recency list is full: age out its oldest ghost.
+                while self._b1 and l1_bytes + size > self.capacity:
+                    _key, ghost = self._b1.popitem(last=False)
+                    self._b1_bytes -= ghost
+                    l1_bytes = self._t1_bytes + self._b1_bytes
+            else:
+                # No ghosts to age: evict straight from T1, no ghost entry.
+                while self._t1 and self._t1_bytes + size > self.capacity:
+                    _key, victim = self._t1.popitem(last=False)
+                    self._t1_bytes -= victim
+                self._used = self._t1_bytes + self._t2_bytes
+        self._make_room(size, in_b2=False)
+        self._t1[key] = size
+        self._t1_bytes += size
+        self._used = self._t1_bytes + self._t2_bytes
+        self._trim_ghosts()
+        return False
+
+    def delete(self, key: int) -> bool:
+        if key in self._t1:
+            self._t1_bytes -= self._t1.pop(key)
+            self._used = self._t1_bytes + self._t2_bytes
+            return True
+        if key in self._t2:
+            self._t2_bytes -= self._t2.pop(key)
+            self._used = self._t1_bytes + self._t2_bytes
+            return True
+        # Deleting a ghost is a no-op for residency but drops the history.
+        if key in self._b1:
+            self._b1_bytes -= self._b1.pop(key)
+        elif key in self._b2:
+            self._b2_bytes -= self._b2.pop(key)
+        return False
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def resident_sizes(self) -> Dict[int, int]:
+        combined = dict(self._t1)
+        combined.update(self._t2)
+        return combined

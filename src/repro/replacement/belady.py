@@ -1,0 +1,99 @@
+"""Belady's MIN — the offline-optimal bound (an extension beyond the paper).
+
+Given the full future access sequence, MIN evicts the resident item whose
+next use is farthest away.  The paper does not evaluate it, but it is the
+natural upper bound on what *any* replacement algorithm could recover, so
+the ablation benches report it alongside LRU/LIRS/ARC to show how much of
+the remaining headroom zExpander's extra effective capacity captures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, Tuple
+
+from repro.replacement.base import EvictingCache, admit_oversized
+
+_NEVER = 1 << 62
+
+
+class BeladyCache(EvictingCache):
+    """Offline MIN over a pre-registered access sequence.
+
+    Call :meth:`load_future` with the full (key, size) sequence before
+    replaying it through :meth:`access`; each access consumes one position
+    of the registered future.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._future: Dict[int, Deque[int]] = {}
+        self._position = 0
+        self._items: Dict[int, int] = {}
+        # Max-heap of (-next_use, key); entries go stale on re-access and
+        # are validated lazily on pop.
+        self._heap = []
+        self._next_use: Dict[int, int] = {}
+
+    def load_future(self, accesses: Iterable[Tuple[int, int]]) -> None:
+        """Register the full access sequence that will be replayed."""
+        future: Dict[int, Deque[int]] = defaultdict(deque)
+        for position, (key, _size) in enumerate(accesses):
+            future[key].append(position)
+        self._future = dict(future)
+        self._position = 0
+
+    def _peek_next_use(self, key: int, current: int) -> int:
+        positions = self._future.get(key)
+        while positions and positions[0] <= current:
+            positions.popleft()
+        if not positions:
+            return _NEVER
+        return positions[0]
+
+    def access(self, key: int, size: int) -> bool:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        current = self._position
+        self._position += 1
+        next_use = self._peek_next_use(key, current)
+        if key in self._items:
+            old = self._items[key]
+            if old != size:
+                self._used += size - old
+                self._items[key] = size
+            self._next_use[key] = next_use
+            heapq.heappush(self._heap, (-next_use, key))
+            self._evict_to_fit()
+            return True
+        if admit_oversized(self, size):
+            return False
+        self._items[key] = size
+        self._used += size
+        self._next_use[key] = next_use
+        heapq.heappush(self._heap, (-next_use, key))
+        self._evict_to_fit()
+        return False
+
+    def _evict_to_fit(self) -> None:
+        while self._used > self.capacity and self._heap:
+            neg_next, key = heapq.heappop(self._heap)
+            if key not in self._items or self._next_use.get(key) != -neg_next:
+                continue  # stale heap entry
+            self._used -= self._items.pop(key)
+            del self._next_use[key]
+
+    def delete(self, key: int) -> bool:
+        size = self._items.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        self._next_use.pop(key, None)
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._items
+
+    def resident_sizes(self) -> Dict[int, int]:
+        return dict(self._items)

@@ -1,0 +1,68 @@
+"""CLOCK — the one-bit LRU approximation MemC3 adopts.
+
+Each resident item carries a reference bit, set on every hit.  The clock
+hand sweeps a circular order of items; an item with its bit set gets a
+second chance (bit cleared), an item with a clear bit is evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.replacement.base import EvictingCache, admit_oversized
+
+
+class ClockCache(EvictingCache):
+    """Byte-capacity CLOCK.
+
+    The circular list is realised as an ordered dict cycled by popping the
+    head and (on second chance) re-appending at the tail; the hand is
+    implicitly always at the head.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        # key -> [size, referenced_bit]
+        self._items: "OrderedDict[int, list]" = OrderedDict()
+
+    def access(self, key: int, size: int) -> bool:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        entry = self._items.get(key)
+        if entry is not None:
+            entry[1] = True
+            if entry[0] != size:
+                self._used += size - entry[0]
+                entry[0] = size
+                self._evict_to_fit()
+            return True
+        if admit_oversized(self, size):
+            return False
+        # New items start with the reference bit clear, as in MemC3.
+        self._items[key] = [size, False]
+        self._used += size
+        self._evict_to_fit()
+        return False
+
+    def _evict_to_fit(self) -> None:
+        while self._used > self.capacity:
+            key, entry = self._items.popitem(last=False)
+            if entry[1]:
+                entry[1] = False
+                self._items[key] = entry  # second chance: rotate to tail
+            else:
+                self._used -= entry[0]
+
+    def delete(self, key: int) -> bool:
+        entry = self._items.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[0]
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._items
+
+    def resident_sizes(self) -> Dict[int, int]:
+        return {key: entry[0] for key, entry in self._items.items()}

@@ -1,0 +1,51 @@
+"""First-in-first-out replacement (baseline for ablations)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.replacement.base import EvictingCache, admit_oversized
+
+
+class FIFOCache(EvictingCache):
+    """Evicts in insertion order; hits do not refresh position."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._items: "OrderedDict[int, int]" = OrderedDict()
+
+    def access(self, key: int, size: int) -> bool:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        existing = self._items.get(key)
+        if existing is not None:
+            if existing != size:
+                self._used += size - existing
+                self._items[key] = size
+                self._evict_to_fit()
+            return True
+        if admit_oversized(self, size):
+            return False
+        self._items[key] = size
+        self._used += size
+        self._evict_to_fit()
+        return False
+
+    def _evict_to_fit(self) -> None:
+        while self._used > self.capacity:
+            _victim, victim_size = self._items.popitem(last=False)
+            self._used -= victim_size
+
+    def delete(self, key: int) -> bool:
+        size = self._items.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._items
+
+    def resident_sizes(self) -> Dict[int, int]:
+        return dict(self._items)

@@ -1,0 +1,100 @@
+"""LRU-X — the paper's hypothetical reference policy (Section 2.1).
+
+"The base cache uses LRU, and data out of the base cache but still in the
+memory are managed by the random replacement policy."  LRU-X isolates how
+much of a miss-ratio improvement comes merely from *having* extra space
+beyond the base cache versus from exploiting locality in that space: the
+long tail gets no locality treatment at all.
+
+Table 1 uses LRU-X at base-cache size as its reference miss count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.replacement.base import EvictingCache
+from repro.replacement.lru import LRUCache
+from repro.replacement.random_policy import RandomCache
+
+
+class LRUXCache(EvictingCache):
+    """A base LRU cache with a random-replacement overflow area.
+
+    Items enter the base cache; items the base cache evicts spill into the
+    overflow area, which evicts uniformly at random.  A hit in the overflow
+    area moves the item back into the base cache (it is recently used, so
+    LRU would keep it near the MRU end anyway).
+    """
+
+    def __init__(self, capacity: int, base_capacity: int, seed: int = 0) -> None:
+        super().__init__(capacity)
+        if not 0 < base_capacity <= capacity:
+            raise ValueError(
+                f"base_capacity must be in (0, {capacity}], got {base_capacity}"
+            )
+        self.base_capacity = base_capacity
+        self._base = _SpillingLRU(base_capacity)
+        overflow_capacity = capacity - base_capacity
+        self._overflow = (
+            RandomCache(overflow_capacity, seed=seed) if overflow_capacity > 0 else None
+        )
+
+    def access(self, key: int, size: int) -> bool:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        hit = key in self._base or (
+            self._overflow is not None and key in self._overflow
+        )
+        if self._overflow is not None and key in self._overflow:
+            self._overflow.delete(key)
+        if size <= self.base_capacity:
+            spilled = self._base.access_and_spill(key, size)
+            for spilled_key, spilled_size in spilled:
+                if self._overflow is not None:
+                    self._overflow.access(spilled_key, spilled_size)
+        self._used = self._base.used_bytes + (
+            self._overflow.used_bytes if self._overflow is not None else 0
+        )
+        return hit
+
+    def delete(self, key: int) -> bool:
+        removed = self._base.delete(key)
+        if self._overflow is not None:
+            removed = self._overflow.delete(key) or removed
+        self._used = self._base.used_bytes + (
+            self._overflow.used_bytes if self._overflow is not None else 0
+        )
+        return removed
+
+    def __contains__(self, key: int) -> bool:
+        if key in self._base:
+            return True
+        return self._overflow is not None and key in self._overflow
+
+    def resident_sizes(self) -> Dict[int, int]:
+        sizes = self._base.resident_sizes()
+        if self._overflow is not None:
+            sizes.update(self._overflow.resident_sizes())
+        return sizes
+
+
+class _SpillingLRU(LRUCache):
+    """LRU that reports what it evicts, so LRU-X can catch the spill."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._spilled = []
+
+    def access_and_spill(self, key: int, size: int):
+        """Like :meth:`access`, returning the (key, size) pairs evicted."""
+        self._spilled = []
+        self.access(key, size)
+        spilled, self._spilled = self._spilled, []
+        return spilled
+
+    def _evict_to_fit(self) -> None:
+        while self._used > self.capacity:
+            victim, victim_size = self._items.popitem(last=False)
+            self._used -= victim_size
+            self._spilled.append((victim, victim_size))

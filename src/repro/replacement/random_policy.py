@@ -1,0 +1,74 @@
+"""Random replacement.
+
+Used standalone as a baseline and as the tail policy inside
+:class:`~repro.replacement.lru_x.LRUXCache`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.rng import make_rng
+from repro.replacement.base import EvictingCache, admit_oversized
+
+
+class RandomCache(EvictingCache):
+    """Evicts a uniformly random resident item.
+
+    Keys are kept in a list with swap-remove so eviction is O(1); the
+    companion dict maps keys to (list index, size).
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        super().__init__(capacity)
+        self._rng = make_rng(seed, "random-policy")
+        self._keys: List[int] = []
+        self._info: Dict[int, list] = {}  # key -> [index, size]
+
+    def access(self, key: int, size: int) -> bool:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        info = self._info.get(key)
+        if info is not None:
+            if info[1] != size:
+                self._used += size - info[1]
+                info[1] = size
+                self._evict_to_fit(exclude=key)
+            return True
+        if admit_oversized(self, size):
+            return False
+        self._info[key] = [len(self._keys), size]
+        self._keys.append(key)
+        self._used += size
+        self._evict_to_fit(exclude=key)
+        return False
+
+    def _remove_at(self, index: int) -> int:
+        """Swap-remove the key at ``index``; returns its size."""
+        key = self._keys[index]
+        last = self._keys.pop()
+        if last != key:
+            self._keys[index] = last
+            self._info[last][0] = index
+        size = self._info.pop(key)[1]
+        return size
+
+    def _evict_to_fit(self, exclude: int = None) -> None:
+        while self._used > self.capacity and self._keys:
+            index = self._rng.randrange(len(self._keys))
+            if self._keys[index] == exclude and len(self._keys) > 1:
+                continue  # do not evict the item just admitted/resized
+            self._used -= self._remove_at(index)
+
+    def delete(self, key: int) -> bool:
+        info = self._info.get(key)
+        if info is None:
+            return False
+        self._used -= self._remove_at(info[0])
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._info
+
+    def resident_sizes(self) -> Dict[int, int]:
+        return {key: info[1] for key, info in self._info.items()}

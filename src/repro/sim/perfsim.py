@@ -1,0 +1,146 @@
+"""Operation mixes and the combined performance model.
+
+``OpMix`` describes, per client request, how often each priced operation
+happens — measured from a real replay's statistics rather than assumed.
+``PerformanceModel`` prices a mix, applies the contention model, and
+reports throughput and simulated miss rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.stats import ZExpanderStats
+from repro.sim.contention import ContentionModel
+from repro.sim.costmodel import CostModel, OpKind
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Per-request rates of each operation kind.
+
+    Rates are events per client request (GET/SET/DELETE), so demotions —
+    which happen on eviction, not per request — can exceed intuition but
+    are honestly amortised.
+    """
+
+    rates: Dict[OpKind, float] = field(default_factory=dict)
+    #: Fraction of requests that acquire the N-zone's shared locks.
+    lock_share: float = 1.0
+    #: SET fraction of the client workload (drives contention growth).
+    set_fraction: float = 0.0
+    #: GET-miss ratio of the replay (for miss-rate figures).
+    miss_ratio: float = 0.0
+
+    def rate(self, kind: OpKind) -> float:
+        return self.rates.get(kind, 0.0)
+
+    def with_lock_share(self, lock_share: float) -> "OpMix":
+        """Copy with a different lock share.
+
+        The memcached prototypes bottleneck on the shared network/dispatch
+        path, which every request crosses regardless of zone — benches
+        modelling them pin the lock share to 1.
+        """
+        return OpMix(
+            rates=dict(self.rates),
+            lock_share=lock_share,
+            set_fraction=self.set_fraction,
+            miss_ratio=self.miss_ratio,
+        )
+
+
+def mix_from_stats(stats: ZExpanderStats) -> OpMix:
+    """Derive the measured operation mix from a replay's statistics."""
+    requests = stats.gets + stats.sets + stats.deletes
+    if requests == 0:
+        raise ValueError("no requests recorded; replay before deriving a mix")
+    filtered_misses = max(0, stats.get_misses)  # split below
+    # Z-zone GET misses divide into filter-answered and false-positive
+    # paths; ZExpanderStats doesn't carry FP counts (the zone does), so
+    # callers with a live cache should prefer mix_from_cache.
+    rates = {
+        OpKind.NZONE_GET_HIT: stats.get_hits_nzone / requests,
+        OpKind.ZZONE_GET_HIT: stats.get_hits_zzone / requests,
+        OpKind.FILTERED_MISS: filtered_misses / requests,
+        OpKind.NZONE_SET: stats.sets / requests,
+        OpKind.DEMOTION: stats.demotions / requests,
+        OpKind.PROMOTION: stats.promotions / requests,
+        OpKind.NZONE_DELETE: stats.deletes / requests,
+    }
+    # Misses probe the N-zone index read-only before falling through to
+    # the Z-zone, so they carry half weight in the lock share.
+    lock_share = (
+        stats.get_hits_nzone
+        + stats.sets
+        + stats.promotions
+        + stats.deletes
+        + 0.5 * stats.get_misses
+    ) / requests
+    set_fraction = stats.sets / requests
+    return OpMix(
+        rates=rates,
+        lock_share=min(1.0, lock_share),
+        set_fraction=set_fraction,
+        miss_ratio=stats.miss_ratio,
+    )
+
+
+def mix_from_cache(cache, stats: Optional[ZExpanderStats] = None) -> OpMix:
+    """Like :func:`mix_from_stats` but uses the live cache's Z-zone
+    counters to split misses into filtered vs false-positive paths."""
+    stats = stats if stats is not None else cache.stats
+    base = mix_from_stats(stats)
+    zzone = getattr(cache, "zzone", None)
+    if zzone is None:
+        return base
+    requests = stats.gets + stats.sets + stats.deletes
+    fp = zzone.stats.false_positives
+    filtered = max(0, stats.get_misses - fp)
+    rates = dict(base.rates)
+    rates[OpKind.FILTERED_MISS] = filtered / requests
+    rates[OpKind.FALSE_POSITIVE_MISS] = fp / requests
+    return OpMix(
+        rates=rates,
+        lock_share=base.lock_share,
+        set_fraction=base.set_fraction,
+        miss_ratio=base.miss_ratio,
+    )
+
+
+class PerformanceModel:
+    """Prices an :class:`OpMix` into throughput and miss-rate numbers."""
+
+    def __init__(
+        self,
+        costs: CostModel,
+        contention: Optional[ContentionModel] = None,
+    ) -> None:
+        self.costs = costs
+        self.contention = contention if contention is not None else ContentionModel()
+
+    def service_time(self, mix: OpMix) -> float:
+        """Mean single-thread seconds per client request."""
+        time = self.costs.network_per_request
+        for kind in OpKind:
+            time += mix.rate(kind) * self.costs.cost(kind)
+        if time <= 0:
+            raise ValueError("operation mix prices to non-positive time")
+        return time
+
+    def single_thread_rps(self, mix: OpMix) -> float:
+        return 1.0 / self.service_time(mix)
+
+    def throughput(self, mix: OpMix, threads: int) -> float:
+        """Requests/second at ``threads`` threads."""
+        return self.contention.throughput(
+            threads,
+            self.single_thread_rps(mix),
+            mix.lock_share,
+            mix.set_fraction,
+        )
+
+    def miss_rate(self, mix: OpMix, threads: int) -> float:
+        """Misses per second (Figure 12's metric): throughput x miss ratio."""
+        return self.throughput(mix, threads) * mix.miss_ratio

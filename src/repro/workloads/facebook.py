@@ -1,0 +1,143 @@
+"""Synthetic stand-ins for the Facebook memcached traces (ETC, APP, USR).
+
+The real traces [Atikoglu et al., SIGMETRICS'12] are proprietary.  Each
+synthetic trace reproduces the published characteristics the paper's
+analysis depends on:
+
+* **Skew** — Figure 1 reports the fraction of hottest items that receives
+  80 % of accesses: ETC 3.6 %, APP 6.9 %, USR 17.0 %.  We calibrate the
+  Zipf skew per trace (over the scaled key space) to hit those points.
+* **Value sizes** — USR effectively has a single 2 B value size; ETC has
+  40 % of requests under 16 B with 90 % of space under 500 B values; APP
+  values cluster around ~270 B.
+* **Operation mix** — all three are read-dominated; USR is almost
+  GET-only, ETC and APP carry single-digit-percent SETs and a trickle of
+  DELETEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.rng import derive_seed
+from repro.workloads.calibration import calibrate_zipf_skew
+from repro.workloads.sizes import (
+    DiscreteMixtureSize,
+    FixedSize,
+    LogNormalSize,
+    SizeSampler,
+    UniformSize,
+)
+from repro.workloads.synth import KeySizeAssigner, synthesize_trace
+from repro.workloads.trace import Trace
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+@dataclass(frozen=True)
+class FacebookTraceSpec:
+    """Published characteristics a synthetic trace must reproduce."""
+
+    name: str
+    #: Fraction of hottest items receiving 80 % of accesses (Figure 1).
+    hot_item_fraction: float
+    get_fraction: float
+    set_fraction: float
+    delete_fraction: float
+
+    def size_sampler(self) -> SizeSampler:
+        """Value-size distribution for this trace."""
+        if self.name == "USR":
+            return FixedSize(2)
+        if self.name == "APP":
+            return LogNormalSize(median=270.0, sigma=0.55, low=8, high=4096)
+        if self.name == "ETC":
+            return DiscreteMixtureSize(
+                [
+                    # ~40 % of requests carry values under 16 B.
+                    (0.40, UniformSize(2, 15)),
+                    # Bulk of the remaining mass sits under 500 B.
+                    (0.50, LogNormalSize(median=120.0, sigma=0.8, low=16, high=500)),
+                    # A thin large tail.
+                    (0.10, LogNormalSize(median=700.0, sigma=0.6, low=500, high=8192)),
+                ]
+            )
+        raise ValueError(f"no size model for trace {self.name!r}")
+
+
+ETC_SPEC = FacebookTraceSpec(
+    name="ETC",
+    hot_item_fraction=0.036,
+    get_fraction=0.92,
+    set_fraction=0.073,
+    delete_fraction=0.007,
+)
+
+APP_SPEC = FacebookTraceSpec(
+    name="APP",
+    hot_item_fraction=0.069,
+    get_fraction=0.925,
+    set_fraction=0.075,
+    delete_fraction=0.0,
+)
+
+USR_SPEC = FacebookTraceSpec(
+    name="USR",
+    hot_item_fraction=0.170,
+    get_fraction=0.998,
+    set_fraction=0.002,
+    delete_fraction=0.0,
+)
+
+SPECS: Dict[str, FacebookTraceSpec] = {
+    spec.name: spec for spec in (ETC_SPEC, APP_SPEC, USR_SPEC)
+}
+
+#: Memoised calibrated skews keyed by (trace name, key count): calibration
+#: bisects an O(n) coverage sum and benches rebuild traces repeatedly.
+_SKEW_CACHE: Dict[tuple, float] = {}
+
+
+def calibrated_skew(spec: FacebookTraceSpec, num_keys: int) -> float:
+    """Zipf theta whose 80 %-coverage matches the spec's hot fraction."""
+    cache_key = (spec.name, num_keys)
+    cached = _SKEW_CACHE.get(cache_key)
+    if cached is None:
+        cached = calibrate_zipf_skew(num_keys, spec.hot_item_fraction)
+        _SKEW_CACHE[cache_key] = cached
+    return cached
+
+
+def generate_facebook_trace(
+    spec: FacebookTraceSpec,
+    num_requests: int = 200_000,
+    num_keys: int = 100_000,
+    seed: int = 42,
+    theta: Optional[float] = None,
+) -> Trace:
+    """Synthesise a trace matching ``spec`` over a scaled key space.
+
+    ``theta`` overrides the calibrated skew when an experiment wants to
+    sweep skew directly.
+    """
+    if theta is None:
+        theta = calibrated_skew(spec, num_keys)
+    zipf = ZipfianGenerator(
+        num_keys, theta=theta, seed=derive_seed(seed, f"{spec.name}-zipf")
+    )
+    assigner = KeySizeAssigner(
+        seed=derive_seed(seed, f"{spec.name}-sizes"),
+        sampler=spec.size_sampler(),
+    )
+    return synthesize_trace(
+        name=spec.name,
+        num_requests=num_requests,
+        num_keys=num_keys,
+        rank_generator=zipf,
+        size_assigner=assigner,
+        get_fraction=spec.get_fraction,
+        set_fraction=spec.set_fraction,
+        delete_fraction=spec.delete_fraction,
+        seed=seed,
+        key_prefix=spec.name.encode("ascii") + b":",
+    )

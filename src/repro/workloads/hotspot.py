@@ -1,0 +1,108 @@
+"""Additional YCSB-style popularity generators: hotspot and latest.
+
+The paper evaluates on Zipfian and uniform patterns only; these two round
+out the YCSB family and are useful for ablations:
+
+* **Hotspot** — a fraction of the key space (the *hot set*) receives a
+  fixed fraction of accesses, uniformly within each side.  Unlike Zipf,
+  the popularity cliff is sharp, which stresses the adaptive allocator's
+  window logic.
+* **Latest** — popularity follows recency of insertion: rank 0 is the most
+  recently inserted key (YCSB's ``latest`` distribution, Zipfian over
+  recency).  Callers advance :meth:`LatestGenerator.extend` as their
+  insert frontier moves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import derive_seed
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+class HotspotGenerator:
+    """Hot-set popularity: ``hot_access_fraction`` of draws land in the
+    first ``hot_item_fraction`` of the key space."""
+
+    def __init__(
+        self,
+        num_items: int,
+        hot_item_fraction: float = 0.2,
+        hot_access_fraction: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1, got {num_items}")
+        if not 0.0 < hot_item_fraction < 1.0:
+            raise ValueError(
+                f"hot_item_fraction must be in (0, 1), got {hot_item_fraction}"
+            )
+        if not 0.0 < hot_access_fraction < 1.0:
+            raise ValueError(
+                f"hot_access_fraction must be in (0, 1), got {hot_access_fraction}"
+            )
+        self.num_items = num_items
+        self.hot_items = max(1, int(num_items * hot_item_fraction))
+        self.hot_access_fraction = hot_access_fraction
+        self._np_rng = np.random.default_rng(derive_seed(seed, "hotspot"))
+
+    def sample(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        hot = self._np_rng.random(count) < self.hot_access_fraction
+        hot_draws = self._np_rng.integers(0, self.hot_items, size=count)
+        cold_span = max(1, self.num_items - self.hot_items)
+        cold_draws = self.hot_items + self._np_rng.integers(
+            0, cold_span, size=count
+        )
+        ranks = np.where(hot, hot_draws, cold_draws)
+        np.clip(ranks, 0, self.num_items - 1, out=ranks)
+        return ranks.astype(np.int64)
+
+    def next_rank(self) -> int:
+        return int(self.sample(1)[0])
+
+    def probability(self, rank: int) -> float:
+        if not 0 <= rank < self.num_items:
+            raise ValueError(f"rank {rank} out of [0, {self.num_items})")
+        if rank < self.hot_items:
+            return self.hot_access_fraction / self.hot_items
+        cold_span = max(1, self.num_items - self.hot_items)
+        return (1.0 - self.hot_access_fraction) / cold_span
+
+
+class LatestGenerator:
+    """Recency-skewed popularity (YCSB's ``latest``).
+
+    Draws a Zipf rank and maps it *backwards* from the insert frontier:
+    rank 0 is the newest key.  The frontier starts at ``num_items`` and
+    moves with :meth:`extend`.
+    """
+
+    def __init__(self, num_items: int, theta: float = 0.99, seed: int = 0) -> None:
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1, got {num_items}")
+        self.num_items = num_items
+        self._zipf = ZipfianGenerator(num_items, theta=theta, seed=seed)
+        self._frontier = num_items
+
+    @property
+    def frontier(self) -> int:
+        return self._frontier
+
+    def extend(self, new_keys: int = 1) -> None:
+        """Move the insert frontier forward by ``new_keys`` keys."""
+        if new_keys < 0:
+            raise ValueError(f"new_keys must be >= 0, got {new_keys}")
+        self._frontier += new_keys
+
+    def sample(self, count: int) -> np.ndarray:
+        offsets = self._zipf.sample(count)
+        keys = (self._frontier - 1) - offsets
+        # Early in a run the frontier may be below the configured window.
+        np.clip(keys, 0, None, out=keys)
+        return keys
+
+    def next_rank(self) -> int:
+        return int(self.sample(1)[0])

@@ -1,0 +1,61 @@
+"""YCSB-style Zipfian workload (the paper's fourth trace).
+
+The paper generates a YCSB trace over a ~128 GB data set with Zipfian skew
+0.99 and replays it with a 95 %/5 % GET/SET mix.  Values are emulated with
+the Places corpus (average 100.9 B, range 2–327 B, per §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import derive_seed
+from repro.workloads.synth import KeySizeAssigner, synthesize_trace
+from repro.workloads.trace import Trace
+from repro.workloads.values import PlacesValueGenerator
+from repro.workloads.zipfian import ZipfianGenerator
+
+
+@dataclass
+class YCSBConfig:
+    """Parameters of a YCSB trace build.
+
+    Defaults mirror the paper's setup scaled down: Zipfian(0.99) keys, a
+    95/5 GET/SET mix, Places-like values.
+    """
+
+    num_requests: int = 200_000
+    num_keys: int = 100_000
+    theta: float = 0.99
+    get_fraction: float = 0.95
+    set_fraction: float = 0.05
+    delete_fraction: float = 0.0
+    seed: int = 42
+    key_prefix: bytes = field(default=b"ycsb:")
+
+
+def generate_ycsb_trace(config: YCSBConfig = None) -> Trace:
+    """Synthesise a YCSB Zipfian trace per ``config``."""
+    if config is None:
+        config = YCSBConfig()
+    zipf = ZipfianGenerator(
+        config.num_keys,
+        theta=config.theta,
+        seed=derive_seed(config.seed, "ycsb-zipf"),
+    )
+    assigner = KeySizeAssigner(
+        seed=derive_seed(config.seed, "ycsb-sizes"),
+        value_generator=PlacesValueGenerator(seed=derive_seed(config.seed, "values")),
+    )
+    return synthesize_trace(
+        name="YCSB",
+        num_requests=config.num_requests,
+        num_keys=config.num_keys,
+        rank_generator=zipf,
+        size_assigner=assigner,
+        get_fraction=config.get_fraction,
+        set_fraction=config.set_fraction,
+        delete_fraction=config.delete_fraction,
+        seed=config.seed,
+        key_prefix=config.key_prefix,
+    )

@@ -1,0 +1,294 @@
+"""Compressed item containers (the Z-zone's *blocks*, §3.1–3.2).
+
+A block compacts KV items into one container that is compressed as a
+whole.  Inside the container, items are sorted by hashed key (§3.2 cites
+SILT's sorted store) and a small index of up to eight evenly spaced
+(hashed-key, offset) pairs is kept *outside* the compressed payload so a
+lookup only scans a fraction of the decompressed bytes.
+
+Every block carries:
+
+* a 16-byte **Content Filter** recording the keys stored in it, checked
+  before any decompression;
+* a 16-byte **Access Filter** recording recently GET-hit keys, consumed by
+  the sweep replacement;
+* two **recent-access records** (4-byte hashed key + 4-byte timestamp
+  each) used by the re-use-time promotion rule (§3.3.2);
+* references to *large items* (> half the block capacity) that are
+  compressed individually and live outside the container (footnote 3).
+
+Blocks are immutable value containers: inserting or removing items builds
+a replacement block (the paper's "writing a new item into a block always
+leads to its reconstruction").
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import CacheError
+from repro.common.records import KVItem
+from repro.compression.base import Compressed, Compressor
+from repro.zzone.bloom import Bloom128
+
+#: Fixed per-block metadata charged by the memory accounting, following the
+#: paper's layout: Content Filter (16 B) + Access Filter (16 B) + two
+#: recent-access records (16 B) + 8 two-byte index offsets with 8 four-byte
+#: index hashes (48 B) + trie pointer (4 B) + circular-list link (8 B) +
+#: item count and sizes (8 B).
+BLOCK_METADATA_BYTES = 16 + 16 + 16 + 48 + 4 + 8 + 8
+
+_INDEX_FANOUT = 8
+
+
+class BlockFullError(CacheError):
+    """Inserting would push the container past the block capacity."""
+
+
+def encode_items(items: Iterable[KVItem]) -> bytes:
+    """Serialise items (already sorted by hashed key) into a container.
+
+    Wire format per item: 8-byte big-endian hashed key, 2-byte key length,
+    4-byte value length, key bytes, value bytes.  Big-endian hashed keys
+    make lexicographic order equal numeric order, which the sorted layout
+    relies on.
+    """
+    pack_header = struct.Struct(">QHI").pack
+    chunks: List[bytes] = []
+    for item in items:
+        if item.hashed_key < 0:
+            raise ValueError(f"item {item.key!r} is missing its hashed key")
+        chunks.append(pack_header(item.hashed_key, len(item.key), len(item.value)))
+        chunks.append(item.key)
+        chunks.append(item.value)
+    return b"".join(chunks)
+
+
+def decode_items(container: bytes) -> List[KVItem]:
+    """Decode every item of a serialised container."""
+    items: List[KVItem] = []
+    pos = 0
+    end = len(container)
+    while pos < end:
+        item, pos = _decode_one(container, pos)
+        items.append(item)
+    return items
+
+
+_HEADER = struct.Struct(">QHI")
+
+
+def _decode_one(container: bytes, pos: int) -> Tuple[KVItem, int]:
+    hashed, klen, vlen = _HEADER.unpack_from(container, pos)
+    key_start = pos + 14
+    key = container[key_start : key_start + klen]
+    value = container[key_start + klen : key_start + klen + vlen]
+    return KVItem(key=key, value=value, hashed_key=hashed), key_start + klen + vlen
+
+
+class Block:
+    """One immutable compressed container plus its metadata."""
+
+    __slots__ = (
+        "depth",
+        "prefix",
+        "compressed",
+        "uncompressed_size",
+        "item_count",
+        "content_filter",
+        "access_filter",
+        "recent_accesses",
+        "large_refs",
+        "_index_hashes",
+        "_index_offsets",
+        "next_block",
+        "prev_block",
+    )
+
+    def __init__(
+        self,
+        depth: int,
+        prefix: int,
+        compressed: Compressed,
+        uncompressed_size: int,
+        item_count: int,
+        content_filter: Bloom128,
+        index_hashes: List[int],
+        index_offsets: List[int],
+        large_refs: Optional[Dict[bytes, "LargeItem"]] = None,
+    ) -> None:
+        self.depth = depth
+        self.prefix = prefix
+        self.compressed = compressed
+        self.uncompressed_size = uncompressed_size
+        self.item_count = item_count
+        self.content_filter = content_filter
+        self.access_filter = Bloom128()
+        #: Two (hashed_key, timestamp) slots for the promotion rule.
+        self.recent_accesses: List[Tuple[int, float]] = []
+        self.large_refs: Dict[bytes, LargeItem] = large_refs or {}
+        self._index_hashes = index_hashes
+        self._index_offsets = index_offsets
+        # Circular sweep-list links, managed by the zone.
+        self.next_block: Optional[Block] = None
+        self.prev_block: Optional[Block] = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        items: List[KVItem],
+        compressor: Compressor,
+        depth: int = 0,
+        prefix: int = 0,
+        large_refs: Optional[Dict[bytes, "LargeItem"]] = None,
+    ) -> "Block":
+        """Build a block from ``items`` (any order; sorted here)."""
+        ordered = sorted(items, key=lambda it: (it.hashed_key, it.key))
+        container = encode_items(ordered)
+        compressed = compressor.compress(container)
+        content = Bloom128()
+        for item in ordered:
+            content.add(item.hashed_key)
+        index_hashes: List[int] = []
+        index_offsets: List[int] = []
+        if ordered:
+            step = max(1, len(ordered) // _INDEX_FANOUT)
+            offset = 0
+            for position, item in enumerate(ordered):
+                if position % step == 0 and len(index_hashes) < _INDEX_FANOUT:
+                    index_hashes.append(item.hashed_key)
+                    index_offsets.append(offset)
+                offset += 14 + len(item.key) + len(item.value)
+        block = cls(
+            depth=depth,
+            prefix=prefix,
+            compressed=compressed,
+            uncompressed_size=len(container),
+            item_count=len(ordered),
+            content_filter=content,
+            index_hashes=index_hashes,
+            index_offsets=index_offsets,
+            large_refs=large_refs,
+        )
+        if large_refs:
+            for large in large_refs.values():
+                content.add(large.hashed_key)
+        return block
+
+    # -- lookups ------------------------------------------------------------
+
+    def maybe_contains(self, hashed_key: int) -> bool:
+        """Content-Filter check; False means definitely absent."""
+        return hashed_key in self.content_filter
+
+    def lookup(
+        self, key: bytes, hashed_key: int, compressor: Compressor
+    ) -> Optional[bytes]:
+        """Find ``key``'s value, decompressing the container.
+
+        Callers must consult :meth:`maybe_contains` first — that is the
+        whole point of the Content Filter — but lookup stays correct
+        without it.
+        """
+        large = self.large_refs.get(key)
+        if large is not None:
+            return compressor.decompress(large.compressed)
+        container = compressor.decompress(self.compressed)
+        return self._scan(container, key, hashed_key)
+
+    def _scan(self, container: bytes, key: bytes, hashed_key: int) -> Optional[bytes]:
+        start = 0
+        if self._index_hashes:
+            slot = bisect.bisect_right(self._index_hashes, hashed_key) - 1
+            if slot >= 0:
+                start = self._index_offsets[slot]
+        pos = start
+        end = len(container)
+        while pos < end:
+            item_hash = int.from_bytes(container[pos : pos + 8], "big")
+            if item_hash > hashed_key:
+                return None  # sorted layout: passed the possible position
+            item, next_pos = _decode_one(container, pos)
+            if item_hash == hashed_key and item.key == key:
+                return item.value
+            pos = next_pos
+        return None
+
+    def items(self, compressor: Compressor) -> List[KVItem]:
+        """Decode all compacted items (excludes large-item references)."""
+        return decode_items(compressor.decompress(self.compressed))
+
+    # -- access tracking (§3.2, §3.3.2) --------------------------------------
+
+    def record_get(self, hashed_key: int, now: float) -> Optional[float]:
+        """Mark a GET hit; return the re-use time if this is a re-access.
+
+        Adds the key to the Access Filter and manages the block's two
+        recent-access records: a key found in a record yields its time gap
+        (for the promotion decision); otherwise the key replaces the older
+        record.
+        """
+        self.access_filter.add(hashed_key)
+        tag = hashed_key & 0xFFFFFFFF
+        for slot, (recorded_tag, recorded_time) in enumerate(self.recent_accesses):
+            if recorded_tag == tag:
+                reuse_time = now - recorded_time
+                self.recent_accesses[slot] = (tag, now)
+                return reuse_time
+        if len(self.recent_accesses) < 2:
+            self.recent_accesses.append((tag, now))
+        else:
+            older = min(range(2), key=lambda i: self.recent_accesses[i][1])
+            self.recent_accesses[older] = (tag, now)
+        return None
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes charged for the compressed container itself."""
+        return self.compressed.stored_size
+
+    @property
+    def memory_bytes(self) -> int:
+        """Container + fixed metadata + large-item references."""
+        large = sum(ref.memory_bytes for ref in self.large_refs.values())
+        return self.stored_bytes + BLOCK_METADATA_BYTES + large
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(depth={self.depth}, prefix={self.prefix:b}, "
+            f"items={self.item_count}, stored={self.stored_bytes}B)"
+        )
+
+
+class LargeItem:
+    """An item too big to compact (> half the block capacity, footnote 3).
+
+    Compressed individually; the owning block keeps a reference and its
+    Content Filter records the key.
+    """
+
+    __slots__ = ("key", "hashed_key", "compressed", "uncompressed_size", "accessed")
+
+    #: Pointer from the block + key hash + bookkeeping, per the paper's
+    #: "a pointer recording its address is stored in the block".
+    _REF_OVERHEAD = 16
+
+    def __init__(
+        self, key: bytes, hashed_key: int, compressed: Compressed, uncompressed_size: int
+    ) -> None:
+        self.key = key
+        self.hashed_key = hashed_key
+        self.compressed = compressed
+        self.uncompressed_size = uncompressed_size
+        #: Reference bit for sweep eviction.
+        self.accessed = False
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.compressed.stored_size + self._REF_OVERHEAD

@@ -1,0 +1,62 @@
+"""16-byte Bloom filters (the paper's Content Filter and Access Filter).
+
+Sized per §3.2: a block holds roughly 20 small items, and a 128-bit filter
+with 4 probes keeps the false-positive ratio around the paper's observed
+~5 % at that load.
+
+Probes are derived from the item's 64-bit placement hash by double hashing
+(Kirsch & Mitzenmacher), so no extra hashing of the key bytes is needed on
+the hot path.
+"""
+
+from __future__ import annotations
+
+SIZE_BYTES = 16
+_BITS = SIZE_BYTES * 8
+_NUM_PROBES = 4
+
+
+class Bloom128:
+    """A 128-bit Bloom filter over 64-bit hashed keys."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self) -> None:
+        self._bits = 0
+
+    def add(self, hashed_key: int) -> None:
+        """Record ``hashed_key`` in the filter."""
+        h1 = hashed_key & 0xFFFFFFFF
+        h2 = (hashed_key >> 32) | 1  # odd step so probes cycle all bits
+        bits = self._bits
+        for i in range(_NUM_PROBES):
+            bits |= 1 << ((h1 + i * h2) % _BITS)
+        self._bits = bits
+
+    def __contains__(self, hashed_key: int) -> bool:
+        h1 = hashed_key & 0xFFFFFFFF
+        h2 = (hashed_key >> 32) | 1
+        bits = self._bits
+        for i in range(_NUM_PROBES):
+            if not (bits >> ((h1 + i * h2) % _BITS)) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset the filter (the sweep clears Access Filters, §3.2)."""
+        self._bits = 0
+
+    @property
+    def bit_count(self) -> int:
+        """Number of set bits (for load/FP diagnostics)."""
+        return bin(self._bits).count("1")
+
+    def false_positive_rate(self) -> float:
+        """Estimated FP probability at the current load."""
+        load = self.bit_count / _BITS
+        return load**_NUM_PROBES
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes this filter is charged in the cache's accounting."""
+        return SIZE_BYTES

@@ -1,0 +1,219 @@
+"""The binary trie over blocks, linearised into two-level pointer arrays.
+
+Per §3.1 of the paper:
+
+* Blocks form a binary trie keyed by hashed-key prefixes.  Only leaves
+  hold data; an internal node is just a NULL pointer.
+* The trie is completed with *ghost* leaves and linearised level by level
+  (heap order), so the node for depth ``d``, prefix ``p`` lives at array
+  position ``2^d - 1 + p`` — pure address arithmetic, no root-to-leaf
+  pointer chase.
+* A lookup computes the last-level position for the hashed key and walks
+  *up* (``(pos - 1) / 2``) until it meets a non-NULL pointer — the unique
+  leaf on the key's path.  With a balanced trie this inspects only a few
+  consecutive levels.
+* The pointer array is segmented: 128 four-byte pointers per second-level
+  segment, allocated only when some pointer in it is non-NULL; a
+  first-level array points at segments.  This is what makes the index's
+  memory footprint a function of the number of *blocks*, not of the
+  complete tree's size.
+
+One deviation from the paper's linear first-level array: segments here
+live in a *sparse directory* (a hash map keyed by segment index).  The
+paper's dense first level is safe only because MurmurHash keeps the trie
+balanced; a pathologically clustered key set would make the deepest
+position — and therefore the dense array — exponentially large.  The
+sparse directory keeps the same O(1) position arithmetic while bounding
+memory by the number of allocated segments; its accounting charges one
+directory entry per allocated segment.  Split depth is additionally
+capped at :data:`MAX_DEPTH`; a block whose items cannot be separated by
+then stays as an oversized block (see ``ZZone._split``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.common.hashing import prefix_of
+from repro.zzone.block import Block
+
+SEGMENT_POINTERS = 128
+#: The paper stores 4-byte pointers in segments and in the first level.
+POINTER_BYTES = 4
+#: Bytes charged per allocated segment's directory entry (index + pointer).
+DIRECTORY_ENTRY_BYTES = 12
+
+MAX_DEPTH = 48
+
+
+class BlockTrie:
+    """Two-level pointer-array trie of blocks."""
+
+    def __init__(self) -> None:
+        #: Sparse first level: segment index -> 128-pointer segment.
+        self._segments: Dict[int, list] = {}
+        self._height = 0  # deepest level that currently has leaves
+        self._block_count = 0
+        #: Lookup telemetry: pointers inspected on the walk up.
+        self.probe_count = 0
+        self.lookup_count = 0
+
+    # -- positions -----------------------------------------------------------
+
+    @staticmethod
+    def _position(depth: int, prefix: int) -> int:
+        return (1 << depth) - 1 + prefix
+
+    def _get_pointer(self, position: int) -> Optional[Block]:
+        segment_index, slot = divmod(position, SEGMENT_POINTERS)
+        segment = self._segments.get(segment_index)
+        if segment is None:
+            return None
+        return segment[slot]
+
+    def _set_pointer(self, position: int, block: Optional[Block]) -> None:
+        segment_index, slot = divmod(position, SEGMENT_POINTERS)
+        segment = self._segments.get(segment_index)
+        if segment is None:
+            if block is None:
+                return
+            segment = [None] * SEGMENT_POINTERS
+            self._segments[segment_index] = segment
+        segment[slot] = block
+        if block is None and all(entry is None for entry in segment):
+            del self._segments[segment_index]  # give the segment back
+
+    # -- public operations ----------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Deepest level with leaves (0 when only the root leaf exists)."""
+        return self._height
+
+    @property
+    def block_count(self) -> int:
+        return self._block_count
+
+    def insert_root(self, block: Block) -> None:
+        """Install the initial root leaf (empty trie only)."""
+        if self._block_count:
+            raise ValueError("trie already has blocks")
+        block.depth = 0
+        block.prefix = 0
+        self._set_pointer(0, block)
+        self._block_count = 1
+        self._height = 0
+
+    def find_leaf(self, hashed_key: int) -> Optional[Block]:
+        """Locate the leaf on ``hashed_key``'s path via bottom-up walk."""
+        if self._block_count == 0:
+            return None
+        self.lookup_count += 1
+        position = self._position(self._height, prefix_of(hashed_key, self._height))
+        probes = 1
+        block = self._get_pointer(position)
+        while block is None and position > 0:
+            position = (position - 1) >> 1
+            probes += 1
+            block = self._get_pointer(position)
+        self.probe_count += probes
+        return block
+
+    def replace_leaf(self, old: Block, new: Block) -> None:
+        """Swap a rebuilt block into the old one's position."""
+        if (old.depth, old.prefix) != (new.depth, new.prefix):
+            raise ValueError("replacement must keep the trie position")
+        self._set_pointer(self._position(new.depth, new.prefix), new)
+
+    def split_leaf(self, old: Block, left: Block, right: Block) -> None:
+        """Replace ``old`` with its two children (old's slot goes NULL)."""
+        child_depth = old.depth + 1
+        if child_depth > MAX_DEPTH:
+            raise OverflowError(f"trie depth limit {MAX_DEPTH} exceeded")
+        if (left.depth, right.depth) != (child_depth, child_depth):
+            raise ValueError("children must sit one level below the parent")
+        if (left.prefix, right.prefix) != (old.prefix * 2, old.prefix * 2 + 1):
+            raise ValueError("children prefixes must extend the parent's")
+        self._set_pointer(self._position(old.depth, old.prefix), None)
+        self._set_pointer(self._position(left.depth, left.prefix), left)
+        self._set_pointer(self._position(right.depth, right.prefix), right)
+        self._block_count += 1
+        if child_depth > self._height:
+            self._height = child_depth
+
+    def remove_leaf(self, block: Block) -> None:
+        """Delete a leaf outright (zone teardown / merges)."""
+        self._set_pointer(self._position(block.depth, block.prefix), None)
+        self._block_count -= 1
+
+    def get_leaf(self, depth: int, prefix: int) -> Optional[Block]:
+        """Direct pointer read (used to find a leaf's sibling)."""
+        return self._get_pointer(self._position(depth, prefix))
+
+    def merge_leaves(self, left: Block, right: Block, parent: Block) -> None:
+        """Collapse two sibling leaves into ``parent`` (reverse of split).
+
+        The paper never merges (a cache under steady pressure only
+        splits), but adaptive shrinking can empty whole subtrees whose
+        metadata would otherwise be unreclaimable.
+        """
+        if left.depth != right.depth or left.depth == 0:
+            raise ValueError("merge needs two non-root siblings")
+        if right.prefix != left.prefix + 1 or left.prefix % 2 != 0:
+            raise ValueError("blocks are not siblings")
+        if (parent.depth, parent.prefix) != (left.depth - 1, left.prefix // 2):
+            raise ValueError("parent position mismatch")
+        self._set_pointer(self._position(left.depth, left.prefix), None)
+        self._set_pointer(self._position(right.depth, right.prefix), None)
+        self._set_pointer(self._position(parent.depth, parent.prefix), parent)
+        self._block_count -= 1
+
+    def leaves(self) -> Iterator[Block]:
+        """Iterate every allocated leaf block."""
+        for segment in self._segments.values():
+            for entry in segment:
+                if entry is not None:
+                    yield entry
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def allocated_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Segment directory plus allocated second-level segments."""
+        first_level = self.allocated_segments * DIRECTORY_ENTRY_BYTES
+        second_level = self.allocated_segments * SEGMENT_POINTERS * POINTER_BYTES
+        return first_level + second_level
+
+    def average_probes(self) -> float:
+        """Mean pointers inspected per lookup (paper: usually < 3)."""
+        if self.lookup_count == 0:
+            return 0.0
+        return self.probe_count / self.lookup_count
+
+    def render(self, max_leaves: int = 64) -> str:
+        """ASCII rendering of the trie's leaves (debugging aid).
+
+        One line per leaf: its binary prefix (Figure 3's node labels),
+        item count, and container sizes.  Leaves beyond ``max_leaves``
+        are elided.
+        """
+        lines = [f"trie: {self._block_count} leaves, height {self._height}"]
+        leaves = sorted(
+            self.leaves(), key=lambda leaf: (leaf.depth, leaf.prefix)
+        )
+        for leaf in leaves[:max_leaves]:
+            label = (
+                format(leaf.prefix, f"0{leaf.depth}b") if leaf.depth else "(root)"
+            )
+            lines.append(
+                f"  {label:<20} items={leaf.item_count:<4} "
+                f"uncompressed={leaf.uncompressed_size}B "
+                f"stored={leaf.stored_bytes}B"
+            )
+        if len(leaves) > max_leaves:
+            lines.append(f"  ... {len(leaves) - max_leaves} more leaves")
+        return "\n".join(lines)

@@ -1,0 +1,590 @@
+"""The Z-zone manager (§3.1–3.3).
+
+Owns the block trie, the circular sweep list, the deferred-removal queue,
+and the byte budget.  All mutation goes through block reconstruction —
+"writing a new item into a block always leads to its reconstruction" — and
+every reconstruction is charged to the compression/decompression counters
+that the performance model and the adaptive controller consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ItemTooLargeError
+from repro.common.hashing import hash_key
+from repro.common.records import KVItem
+from repro.common.rng import make_rng
+from repro.compression.base import Compressor
+from repro.compression.zlibc import ZlibCompressor
+from repro.zzone.block import Block, LargeItem
+from repro.zzone.trie import BlockTrie
+
+DEFAULT_BLOCK_CAPACITY = 2048
+
+
+@dataclass
+class ZZoneStats:
+    """Operation counters; the cost model prices these."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: GETs/DELETEs answered "absent" by a Content Filter alone.
+    filter_skips: int = 0
+    #: Filter said maybe but the block scan came up empty.
+    false_positives: int = 0
+    decompressions: int = 0
+    compressions: int = 0
+    puts: int = 0
+    deletes: int = 0
+    evicted_items: int = 0
+    evicted_bytes: int = 0
+    splits: int = 0
+    sweep_visits: int = 0
+    pending_removals_executed: int = 0
+    pending_removals_merged: int = 0
+
+    @property
+    def expensive_ops(self) -> int:
+        """Operations involving block (de)compression (§3.3.1's metric)."""
+        return self.decompressions + self.compressions
+
+
+class ZZone:
+    """Compressed cold partition with sweep replacement."""
+
+    def __init__(
+        self,
+        capacity: int,
+        compressor: Optional[Compressor] = None,
+        block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+        clock: Optional[VirtualClock] = None,
+        seed: int = 0,
+        use_content_filter: bool = True,
+        use_access_filter: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if block_capacity < 64:
+            raise ValueError(f"block_capacity must be >= 64, got {block_capacity}")
+        self.capacity = capacity
+        self.block_capacity = block_capacity
+        #: Ablation switches: without the Content Filter every absent-key
+        #: GET/DELETE decompresses its block (Figure 13's "no filter"
+        #: baseline); without the Access Filter the sweep picks victims
+        #: blindly.
+        self.use_content_filter = use_content_filter
+        self.use_access_filter = use_access_filter
+        self.compressor = compressor if compressor is not None else ZlibCompressor()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.stats = ZZoneStats()
+        self._rng = make_rng(seed, "zzone-sweep")
+        self._trie = BlockTrie()
+        self._used = 0
+        self._item_count = 0
+        self._hand: Optional[Block] = None
+        #: key -> (hashed_key, earliest execution time); §3.3.2's postponed
+        #: removals of stale versions after a SET hit the N-zone.
+        self._pending_removals: Dict[bytes, Tuple[int, float]] = {}
+        root = Block.build([], self.compressor)
+        self.stats.compressions += 1
+        self._trie.insert_root(root)
+        self._link_initial(root)
+        self._used = root.memory_bytes + self._trie.memory_bytes
+
+    # -- circular sweep list --------------------------------------------------
+
+    def _link_initial(self, block: Block) -> None:
+        block.next_block = block
+        block.prev_block = block
+        self._hand = block
+
+    def _splice_remove(self, block: Block) -> None:
+        """Unlink ``block`` from the ring (it must not be the only node)."""
+        if block.next_block is block:
+            raise ValueError("cannot remove the last ring node")
+        block.prev_block.next_block = block.next_block
+        block.next_block.prev_block = block.prev_block
+        if self._hand is block:
+            self._hand = block.next_block
+
+    def _splice_replace(self, old: Block, replacements: List[Block]) -> None:
+        """Replace ``old`` in the ring with one or two blocks."""
+        first, last = replacements[0], replacements[-1]
+        if old.next_block is old:
+            # Single-node ring.
+            prev_node, next_node = last, first
+        else:
+            prev_node, next_node = old.prev_block, old.next_block
+        prev_node.next_block = first
+        first.prev_block = prev_node
+        last.next_block = next_node
+        next_node.prev_block = last
+        if len(replacements) == 2:
+            first.next_block = last
+            last.prev_block = first
+        if self._hand is old:
+            self._hand = first
+
+    # -- byte accounting -------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def item_count(self) -> int:
+        return self._item_count
+
+    @property
+    def block_count(self) -> int:
+        return self._trie.block_count
+
+    def resize(self, capacity: int) -> None:
+        """Change the byte budget; shrinking evicts immediately."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._evict_to_fit()
+
+    def _recharge(self, old_bytes: int, new_bytes: int) -> None:
+        self._used += new_bytes - old_bytes
+
+    # -- core operations --------------------------------------------------------
+
+    def get(self, key: bytes, hashed: Optional[int] = None) -> Optional[Tuple[bytes, Optional[float]]]:
+        """Look up ``key``; returns (value, reuse_time) or None.
+
+        ``reuse_time`` is the gap since the item's recorded previous access
+        (None on the first recorded access) — the input to the N-zone
+        promotion rule (§3.3.2).
+        """
+        if hashed is None:
+            hashed = hash_key(key)
+        self.stats.gets += 1
+        leaf = self._trie.find_leaf(hashed)
+        if leaf is None:
+            self.stats.misses += 1
+            return None
+        if self.use_content_filter and not leaf.maybe_contains(hashed):
+            self.stats.filter_skips += 1
+            self.stats.misses += 1
+            return None
+        large = leaf.large_refs.get(key)
+        if large is not None:
+            self.stats.decompressions += 1
+            large.accessed = True
+            reuse = leaf.record_get(hashed, self.clock.now())
+            self.stats.hits += 1
+            return self.compressor.decompress(large.compressed), reuse
+        self.stats.decompressions += 1
+        value = leaf.lookup(key, hashed, self.compressor)
+        if value is None:
+            # A decompression that found nothing: a filter false positive
+            # when the filter is on, plain wasted work when it is off.
+            self.stats.false_positives += 1
+            self.stats.misses += 1
+            return None
+        reuse = leaf.record_get(hashed, self.clock.now())
+        self.stats.hits += 1
+        return value, reuse
+
+    def maybe_contains(self, key: bytes, hashed: Optional[int] = None) -> bool:
+        """Content-Filter-only membership check (no decompression)."""
+        if hashed is None:
+            hashed = hash_key(key)
+        leaf = self._trie.find_leaf(hashed)
+        return leaf is not None and leaf.maybe_contains(hashed)
+
+    def put(self, key: bytes, value: bytes, hashed: Optional[int] = None) -> None:
+        """Insert or replace an item (typically an N-zone eviction)."""
+        if hashed is None:
+            hashed = hash_key(key)
+        item_size = len(key) + len(value)
+        if item_size > self.capacity:
+            raise ItemTooLargeError(key, item_size, self.capacity)
+        self.stats.puts += 1
+        # A put of the same key supersedes any postponed removal: the
+        # paper's "removal and write operations are merged into one".
+        if self._pending_removals.pop(key, None) is not None:
+            self.stats.pending_removals_merged += 1
+        leaf = self._trie.find_leaf(hashed)
+        if item_size > self.block_capacity // 2:
+            self._put_large(leaf, key, value, hashed)
+        else:
+            self._put_compact(leaf, key, value, hashed)
+        self._evict_to_fit()
+
+    def delete(self, key: bytes, hashed: Optional[int] = None) -> bool:
+        """Remove ``key`` if present; filter-negative deletes are free."""
+        if hashed is None:
+            hashed = hash_key(key)
+        self.stats.deletes += 1
+        leaf = self._trie.find_leaf(hashed)
+        if leaf is None:
+            return False
+        if self.use_content_filter and not leaf.maybe_contains(hashed):
+            self.stats.filter_skips += 1
+            return False
+        self._pending_removals.pop(key, None)
+        return self._remove_from_block(leaf, key, hashed)
+
+    def schedule_removal(self, key: bytes, hashed: int, not_before: float) -> None:
+        """Postpone removing a stale version until ``not_before`` (§3.3.2)."""
+        if self.maybe_contains(key, hashed):
+            self._pending_removals[key] = (hashed, not_before)
+
+    # -- insertion internals ------------------------------------------------------
+
+    def _put_compact(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
+        self.stats.decompressions += 1
+        items = leaf.items(self.compressor)
+        replaced = False
+        for position, existing in enumerate(items):
+            if existing.key == key:
+                items[position] = KVItem(key=key, value=value, hashed_key=hashed)
+                replaced = True
+                break
+        if not replaced:
+            items.append(KVItem(key=key, value=value, hashed_key=hashed))
+            self._item_count += 1
+        large_refs = dict(leaf.large_refs)
+        stale_large = large_refs.pop(key, None)
+        if stale_large is not None:
+            self._item_count -= 1  # the compact copy replaces the large one
+        serialized = sum(14 + it.size for it in items)
+        if serialized <= self.block_capacity:
+            self._rebuild(leaf, items, large_refs)
+        else:
+            self._split(leaf, items, large_refs)
+
+    def _put_large(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
+        compressed = self.compressor.compress(value)
+        self.stats.compressions += 1
+        large = LargeItem(
+            key=key,
+            hashed_key=hashed,
+            compressed=compressed,
+            uncompressed_size=len(key) + len(value),
+        )
+        if leaf.maybe_contains(hashed) and key not in leaf.large_refs:
+            # The key may exist compacted in the container: rebuild without
+            # it so the item is not doubly stored.
+            self.stats.decompressions += 1
+            items = [it for it in leaf.items(self.compressor) if it.key != key]
+            large_refs = dict(leaf.large_refs)
+            was_present = (
+                len(items) < leaf.item_count or key in leaf.large_refs
+            )
+            large_refs[key] = large
+            if not was_present:
+                self._item_count += 1
+            self._rebuild(leaf, items, large_refs)
+            return
+        if key not in leaf.large_refs:
+            self._item_count += 1
+        old_bytes = leaf.memory_bytes
+        leaf.large_refs[key] = large
+        leaf.content_filter.add(hashed)
+        self._recharge(old_bytes, leaf.memory_bytes)
+
+    def _rebuild(
+        self,
+        old: Block,
+        items: List[KVItem],
+        large_refs: Dict[bytes, LargeItem],
+    ) -> None:
+        new = Block.build(
+            items,
+            self.compressor,
+            depth=old.depth,
+            prefix=old.prefix,
+            large_refs=large_refs,
+        )
+        self.stats.compressions += 1
+        self._trie.replace_leaf(old, new)
+        self._splice_replace(old, [new])
+        self._recharge(old.memory_bytes, new.memory_bytes)
+
+    def _split(
+        self,
+        old: Block,
+        items: List[KVItem],
+        large_refs: Dict[bytes, LargeItem],
+    ) -> None:
+        """Split ``old`` into two children by the next hashed-key bit.
+
+        If a child is itself overloaded (possible only under pathological
+        hash clustering), it is built anyway and immediately split again —
+        each step is a legitimate binary trie split, as in Figure 3.
+        Splitting stops at the trie's depth cap: keys whose hashes agree
+        on the first 48 bits cannot be separated, and their block simply
+        stays oversized (correct, merely less efficient).
+        """
+        from repro.zzone.trie import MAX_DEPTH
+
+        if old.depth >= MAX_DEPTH:
+            self._rebuild(old, items, large_refs)
+            return
+        trie_before = self._trie.memory_bytes
+        bit_shift = 63 - old.depth
+        left_items = [it for it in items if not (it.hashed_key >> bit_shift) & 1]
+        right_items = [it for it in items if (it.hashed_key >> bit_shift) & 1]
+        left_large = {
+            k: v for k, v in large_refs.items() if not (v.hashed_key >> bit_shift) & 1
+        }
+        right_large = {
+            k: v for k, v in large_refs.items() if (v.hashed_key >> bit_shift) & 1
+        }
+        left = Block.build(
+            left_items,
+            self.compressor,
+            depth=old.depth + 1,
+            prefix=old.prefix * 2,
+            large_refs=left_large,
+        )
+        right = Block.build(
+            right_items,
+            self.compressor,
+            depth=old.depth + 1,
+            prefix=old.prefix * 2 + 1,
+            large_refs=right_large,
+        )
+        self.stats.compressions += 2
+        self.stats.splits += 1
+        self._trie.split_leaf(old, left, right)
+        self._splice_replace(old, [left, right])
+        self._recharge(
+            old.memory_bytes + trie_before,
+            left.memory_bytes + right.memory_bytes + self._trie.memory_bytes,
+        )
+        for child, child_items, child_large in (
+            (left, left_items, left_large),
+            (right, right_items, right_large),
+        ):
+            if sum(14 + it.size for it in child_items) > self.block_capacity:
+                self._split(child, child_items, child_large)
+
+    # -- removal internals ---------------------------------------------------------
+
+    def _remove_from_block(self, leaf: Block, key: bytes, hashed: int) -> bool:
+        if key in leaf.large_refs:
+            large_refs = dict(leaf.large_refs)
+            del large_refs[key]
+            self.stats.decompressions += 1
+            items = leaf.items(self.compressor)
+            self._rebuild(leaf, items, large_refs)
+            self._item_count -= 1
+            return True
+        self.stats.decompressions += 1
+        items = leaf.items(self.compressor)
+        remaining = [it for it in items if it.key != key]
+        if len(remaining) == len(items):
+            self.stats.false_positives += 1
+            return False
+        self._rebuild(leaf, remaining, dict(leaf.large_refs))
+        self._item_count -= 1
+        return True
+
+    # -- replacement (§3.2) -----------------------------------------------------------
+
+    def _execute_pending_removals(self) -> None:
+        now = self.clock.now()
+        due = [key for key, (_h, when) in self._pending_removals.items() if when <= now]
+        for key in due:
+            hashed, _when = self._pending_removals.pop(key)
+            leaf = self._trie.find_leaf(hashed)
+            if leaf is not None and leaf.maybe_contains(hashed):
+                if self._remove_from_block(leaf, key, hashed):
+                    self.stats.pending_removals_executed += 1
+
+    def _evict_to_fit(self) -> None:
+        if self._used <= self.capacity:
+            return
+        self._execute_pending_removals()
+        visits_without_progress = 0
+        while self._used > self.capacity:
+            block = self._hand
+            if block is None:
+                return
+            self._hand = block.next_block
+            self.stats.sweep_visits += 1
+            force = visits_without_progress > self._trie.block_count
+            progressed = self._sweep_block(block, force=force)
+            progressed = self._maybe_merge_empty(block) or progressed
+            if progressed:
+                visits_without_progress = 0
+            else:
+                visits_without_progress += 1
+                if visits_without_progress > 2 * self._trie.block_count + 4:
+                    # A full forced cycle freed nothing: the zone is at
+                    # its structural floor (metadata of empty blocks and
+                    # the index itself).  Stop rather than spin.
+                    return
+
+    def _maybe_merge_empty(self, block: Block) -> bool:
+        """Collapse empty sibling leaves to reclaim their metadata.
+
+        Repeats up the trie while the merged parent's sibling is also an
+        empty leaf.  Returns whether any merge happened.
+        """
+        merged = False
+        while (
+            block.depth > 0
+            and block.item_count == 0
+            and not block.large_refs
+        ):
+            sibling_prefix = block.prefix ^ 1
+            sibling = self._trie.get_leaf(block.depth, sibling_prefix)
+            if (
+                sibling is None
+                or sibling.item_count != 0
+                or sibling.large_refs
+            ):
+                return merged
+            left, right = (
+                (block, sibling) if block.prefix % 2 == 0 else (sibling, block)
+            )
+            parent = Block.build(
+                [], self.compressor, depth=block.depth - 1, prefix=block.prefix // 2
+            )
+            self.stats.compressions += 1
+            trie_before = self._trie.memory_bytes
+            self._trie.merge_leaves(left, right, parent)
+            self._splice_remove(right)
+            self._splice_replace(left, [parent])
+            self._recharge(
+                left.memory_bytes + right.memory_bytes + trie_before,
+                parent.memory_bytes + self._trie.memory_bytes,
+            )
+            merged = True
+            block = parent
+        return merged
+
+    def _sweep_block(self, block: Block, force: bool = False) -> bool:
+        """Evict from one block; returns whether any bytes were freed.
+
+        Victims are a random half of the items not recorded in the Access
+        Filter; the filter is cleared before moving on so that the next
+        visit sees only fresh accesses (§3.2).  ``force`` overrides the
+        filter when a full sweep cycle made no progress (pathological
+        all-hot zone).
+        """
+        freed = False
+        # Large refs behave like one-item blocks with a reference bit.
+        hot_large = {}
+        for key, large in block.large_refs.items():
+            if large.accessed and self.use_access_filter and not force:
+                large.accessed = False
+                hot_large[key] = large
+            else:
+                self.stats.evicted_items += 1
+                self.stats.evicted_bytes += large.uncompressed_size
+                self._item_count -= 1
+                freed = True
+        if block.item_count > 0:
+            self.stats.decompressions += 1
+            items = block.items(self.compressor)
+            if force or not self.use_access_filter:
+                candidates = list(range(len(items)))
+            else:
+                candidates = [
+                    position
+                    for position, item in enumerate(items)
+                    if item.hashed_key not in block.access_filter
+                ]
+            if candidates:
+                victim_count = max(1, math.ceil(len(candidates) / 2))
+                victims = set(self._rng.sample(candidates, victim_count))
+                survivors = [
+                    item
+                    for position, item in enumerate(items)
+                    if position not in victims
+                ]
+                self.stats.evicted_items += len(victims)
+                self.stats.evicted_bytes += sum(
+                    items[position].size for position in victims
+                )
+                self._item_count -= len(victims)
+                block.access_filter.clear()
+                self._rebuild(block, survivors, hot_large)
+                return True
+            if len(hot_large) != len(block.large_refs):
+                self._rebuild(block, items, hot_large)
+                block.access_filter.clear()
+                return True
+        elif len(hot_large) != len(block.large_refs):
+            old_bytes = block.memory_bytes
+            block.large_refs = hot_large
+            self._recharge(old_bytes, block.memory_bytes)
+            return True
+        block.access_filter.clear()
+        return freed
+
+    # -- accounting and invariants ----------------------------------------------------
+
+    def items(self):
+        """Iterate resident (key, value) pairs (decompressing blocks).
+
+        Accounting-neutral: used by snapshots and debugging, so the
+        decompressions are *not* charged to the stats the performance
+        model prices.
+        """
+        for leaf in list(self._trie.leaves()):
+            for item in leaf.items(self.compressor):
+                yield item.key, item.value
+            for key, large in list(leaf.large_refs.items()):
+                yield key, self.compressor.decompress(large.compressed)
+
+    def memory_usage(self) -> Dict[str, int]:
+        """Byte breakdown: compressed items, metadata, index."""
+        stored = 0
+        metadata = 0
+        uncompressed = 0
+        for leaf in self._trie.leaves():
+            stored += leaf.stored_bytes
+            metadata += leaf.memory_bytes - leaf.stored_bytes - sum(
+                ref.compressed.stored_size for ref in leaf.large_refs.values()
+            )
+            stored += sum(ref.compressed.stored_size for ref in leaf.large_refs.values())
+            uncompressed += leaf.uncompressed_size + sum(
+                ref.uncompressed_size for ref in leaf.large_refs.values()
+            )
+        return {
+            "compressed_items": stored,
+            "uncompressed_items": uncompressed,
+            "block_metadata": metadata,
+            "trie_index": self._trie.memory_bytes,
+            "total": self._used,
+        }
+
+    def average_trie_probes(self) -> float:
+        return self._trie.average_probes()
+
+    def check_invariants(self) -> None:
+        """Verify accounting, ring integrity, and trie consistency."""
+        total = self._trie.memory_bytes
+        item_total = 0
+        for leaf in self._trie.leaves():
+            total += leaf.memory_bytes
+            item_total += leaf.item_count + len(leaf.large_refs)
+        if total != self._used:
+            raise AssertionError(
+                f"used_bytes={self._used} but structures sum to {total}"
+            )
+        if item_total != self._item_count:
+            raise AssertionError(
+                f"item_count={self._item_count} but leaves hold {item_total}"
+            )
+        # Ring must contain exactly the trie's leaves.
+        ring = []
+        node = self._hand
+        for _ in range(self._trie.block_count):
+            ring.append(node)
+            node = node.next_block
+        if node is not self._hand or len(set(map(id, ring))) != self._trie.block_count:
+            raise AssertionError("sweep ring out of sync with trie leaves")

@@ -1,0 +1,40 @@
+"""Tests for repro.common.clock."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_set_forward(self):
+        clock = VirtualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backward_rejected(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)

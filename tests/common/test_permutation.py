@@ -1,0 +1,58 @@
+"""Tests for repro.common.permutation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.permutation import FeistelPermutation
+
+
+class TestFeistelPermutation:
+    def test_bijection_small(self):
+        perm = FeistelPermutation(100, seed=7)
+        images = {perm.apply(i) for i in range(100)}
+        assert images == set(range(100))
+
+    def test_bijection_odd_size(self):
+        perm = FeistelPermutation(37, seed=3)
+        images = {perm.apply(i) for i in range(37)}
+        assert images == set(range(37))
+
+    def test_size_one(self):
+        assert FeistelPermutation(1, seed=0).apply(0) == 0
+
+    def test_deterministic(self):
+        a = FeistelPermutation(1000, seed=5)
+        b = FeistelPermutation(1000, seed=5)
+        assert [a.apply(i) for i in range(50)] == [b.apply(i) for i in range(50)]
+
+    def test_seed_changes_mapping(self):
+        a = FeistelPermutation(1000, seed=1)
+        b = FeistelPermutation(1000, seed=2)
+        assert [a.apply(i) for i in range(50)] != [b.apply(i) for i in range(50)]
+
+    def test_out_of_range_rejected(self):
+        perm = FeistelPermutation(10)
+        with pytest.raises(ValueError):
+            perm.apply(10)
+        with pytest.raises(ValueError):
+            perm.apply(-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(0)
+
+    def test_scrambles_order(self):
+        # Not a formal randomness test; just ensure it is not identity-ish.
+        perm = FeistelPermutation(10_000, seed=11)
+        fixed_points = sum(1 for i in range(10_000) if perm.apply(i) == i)
+        assert fixed_points < 50
+
+    @given(st.integers(min_value=2, max_value=5000), st.integers(min_value=0, max_value=1 << 32))
+    @settings(max_examples=25)
+    def test_bijection_property(self, n, seed):
+        perm = FeistelPermutation(n, seed=seed)
+        sample = range(0, n, max(1, n // 64))
+        images = [perm.apply(i) for i in sample]
+        assert len(set(images)) == len(images)
+        assert all(0 <= image < n for image in images)

@@ -1,0 +1,42 @@
+"""Tests for repro.common.records."""
+
+from repro.common.records import KVItem, Operation, Request
+
+
+class TestRequest:
+    def test_value_size_inferred_from_value(self):
+        request = Request(op=Operation.SET, key=b"k", value=b"abcde")
+        assert request.value_size == 5
+
+    def test_explicit_size_without_value(self):
+        request = Request(op=Operation.GET, key=b"k", value_size=100)
+        assert request.value is None
+        assert request.value_size == 100
+
+    def test_size_includes_key(self):
+        request = Request(op=Operation.SET, key=b"key", value=b"vv")
+        assert request.size == 5
+
+    def test_frozen(self):
+        request = Request(op=Operation.GET, key=b"k")
+        try:
+            request.key = b"other"
+            assert False, "Request should be immutable"
+        except AttributeError:
+            pass
+
+
+class TestKVItem:
+    def test_size(self):
+        assert KVItem(key=b"abc", value=b"de").size == 5
+
+    def test_equality_ignores_hash(self):
+        a = KVItem(key=b"k", value=b"v", hashed_key=1)
+        b = KVItem(key=b"k", value=b"v", hashed_key=2)
+        assert a == b
+
+    def test_inequality_on_value(self):
+        assert KVItem(key=b"k", value=b"v1") != KVItem(key=b"k", value=b"v2")
+
+    def test_default_hash_sentinel(self):
+        assert KVItem(key=b"k", value=b"v").hashed_key == -1

@@ -1,0 +1,31 @@
+"""Tests for repro.common.rng."""
+
+from repro.common.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_separates_streams(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "x")
+        b = make_rng(7, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_label_changes_stream(self):
+        a = make_rng(7, "x")
+        b = make_rng(7, "y")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_no_label(self):
+        a = make_rng(7)
+        b = make_rng(7)
+        assert a.random() == b.random()

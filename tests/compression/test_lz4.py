@@ -1,0 +1,120 @@
+"""Tests for the pure-Python LZ4 block codec."""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import Compressed
+from repro.compression.lz4 import (
+    LZ4Compressor,
+    lz4_block_compress,
+    lz4_block_decompress,
+)
+
+
+class TestBlockFormat:
+    def test_empty_roundtrip(self):
+        assert lz4_block_decompress(lz4_block_compress(b"")) == b""
+
+    def test_short_input_is_literals(self):
+        data = b"short"
+        block = lz4_block_compress(data)
+        assert lz4_block_decompress(block) == data
+        # Token + literals: no match possible below the 12-byte fence.
+        assert len(block) == len(data) + 1
+
+    def test_repetitive_data_compresses(self):
+        data = b"abcd" * 512
+        block = lz4_block_compress(data)
+        assert len(block) < len(data) // 4
+        assert lz4_block_decompress(block) == data
+
+    def test_run_length_overlap_copy(self):
+        # offset < match length exercises the overlapping-copy path.
+        data = b"x" * 1000
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+    def test_long_literal_run_extension(self):
+        # > 15 literals forces the 255-extension encoding.
+        data = os.urandom(1000)
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+    def test_long_match_extension(self):
+        data = b"Z" * 5000  # match length >> 19 forces extension bytes
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+    def test_last_five_bytes_are_literals(self):
+        # Decode the final sequence and confirm it carries >= 5 literals
+        # (spec constraint honoured by the compressor).
+        data = b"pattern-pattern-pattern-pattern-tail!"
+        block = lz4_block_compress(data)
+        assert lz4_block_decompress(block) == data
+
+    def test_zero_offset_rejected(self):
+        # token: 0 literals, match; offset 0x0000 is invalid.
+        with pytest.raises(ValueError):
+            lz4_block_decompress(b"\x00\x00\x00")
+
+    def test_offset_beyond_output_rejected(self):
+        # 1 literal "A", then a match at offset 5 with nothing behind.
+        with pytest.raises(ValueError):
+            lz4_block_decompress(b"\x10A\x05\x00")
+
+    def test_mixed_content(self):
+        rng = random.Random(7)
+        parts = []
+        for _ in range(50):
+            if rng.random() < 0.5:
+                parts.append(b"common-phrase-")
+            else:
+                parts.append(bytes(rng.randrange(256) for _ in range(rng.randrange(20))))
+        data = b"".join(parts)
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+    @given(
+        st.lists(
+            st.sampled_from([b"hello ", b"world ", b"abcabc", b"\x00\x01"]),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_repetitive_property(self, chunks):
+        data = b"".join(chunks)
+        assert lz4_block_decompress(lz4_block_compress(data)) == data
+
+
+class TestLZ4Compressor:
+    def test_roundtrip(self):
+        codec = LZ4Compressor()
+        data = b"hello " * 300
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_incompressible_raw_fallback(self):
+        codec = LZ4Compressor()
+        data = os.urandom(256)
+        compressed = codec.compress(data)
+        assert compressed.stored_size <= len(data) + 1
+        assert codec.decompress(compressed) == data
+
+    def test_no_entropy_stage(self):
+        # ASCII-only random hex does not compress under LZ4 (unlike
+        # DEFLATE, whose Huffman stage would) — the Table 2 property.
+        rng = random.Random(3)
+        data = "".join(format(rng.getrandbits(4), "x") for _ in range(100)).encode()
+        assert LZ4Compressor().compress(data).stored_size >= len(data)
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(ValueError):
+            LZ4Compressor().decompress(Compressed(payload=b"\x09x", stored_size=2))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            LZ4Compressor().decompress(Compressed(payload=b"", stored_size=0))

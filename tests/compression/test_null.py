@@ -1,0 +1,16 @@
+"""Tests for repro.compression.null."""
+
+from repro.compression.null import NullCompressor
+
+
+class TestNullCompressor:
+    def test_roundtrip(self):
+        codec = NullCompressor()
+        data = b"payload"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_stored_size_is_input_size(self):
+        assert NullCompressor().compress(b"12345").stored_size == 5
+
+    def test_ratio_is_one(self):
+        assert NullCompressor().ratio(b"aaaa" * 100) == 1.0

@@ -1,0 +1,60 @@
+"""Tests for repro.compression.ratios."""
+
+import pytest
+
+from repro.compression.null import NullCompressor
+from repro.compression.ratios import (
+    container_compression_ratio,
+    individual_compression_ratio,
+    pack_into_containers,
+)
+from repro.compression.zlibc import ZlibCompressor
+
+
+class TestPackIntoContainers:
+    def test_packs_greedily(self):
+        values = [b"aa", b"bb", b"cc", b"dd"]
+        containers = pack_into_containers(values, container_size=4)
+        assert containers == [b"aabb", b"ccdd"]
+
+    def test_oversized_value_gets_own_container(self):
+        values = [b"x" * 10, b"y"]
+        containers = pack_into_containers(values, container_size=4)
+        assert containers[0] == b"x" * 10
+
+    def test_no_bytes_lost(self):
+        values = [bytes([i]) * (i % 7 + 1) for i in range(100)]
+        containers = pack_into_containers(values, container_size=16)
+        assert b"".join(containers) == b"".join(values)
+
+    def test_empty_input(self):
+        assert pack_into_containers([], 128) == []
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            pack_into_containers([b"a"], 0)
+
+
+class TestRatios:
+    def test_null_codec_gives_one(self):
+        values = [b"abc"] * 10
+        assert individual_compression_ratio(values, NullCompressor()) == 1.0
+        assert container_compression_ratio(values, 64, NullCompressor()) == 1.0
+
+    def test_batched_beats_individual_on_shared_content(self):
+        values = [b"the quick brown fox %d" % (i % 3) for i in range(200)]
+        codec = ZlibCompressor()
+        individual = individual_compression_ratio(values, codec)
+        batched = container_compression_ratio(values, 2048, codec)
+        assert batched > individual
+
+    def test_bigger_containers_compress_better(self):
+        values = [b"shared words here %d" % (i % 5) for i in range(400)]
+        codec = ZlibCompressor()
+        small = container_compression_ratio(values, 256, codec)
+        large = container_compression_ratio(values, 4096, codec)
+        assert large >= small
+
+    def test_empty_values(self):
+        assert individual_compression_ratio([], ZlibCompressor()) == 1.0
+        assert container_compression_ratio([], 256, ZlibCompressor()) == 1.0

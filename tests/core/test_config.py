@@ -1,0 +1,54 @@
+"""Tests for ZExpanderConfig validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core import ZExpanderConfig
+
+
+def valid_config(**overrides):
+    config = ZExpanderConfig(total_capacity=1 << 20)
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return config
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        valid_config().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("total_capacity", 0),
+            ("nzone_fraction", 0.0),
+            ("nzone_fraction", 1.0),
+            ("nzone_fraction", 0.97),  # violates min_zone_fraction
+            ("target_service_fraction", 0.0),
+            ("target_service_fraction", 1.0),
+            ("adjustment_step", 0.0),
+            ("adjustment_step", 0.6),
+            ("window_seconds", 0.0),
+            ("marker_interval_seconds", 0.0),
+            ("benchmark_weights", (1.0, 1.0)),
+            ("benchmark_weights", (0.0, 0.0, 0.0)),
+            ("benchmark_weights", (-1.0, 1.0, 1.0)),
+            ("min_zone_fraction", 0.0),
+            ("min_zone_fraction", 0.5),
+            ("promotion_policy", "sometimes"),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            valid_config(**{field: value}).validate()
+
+    @pytest.mark.parametrize("policy", ["reuse-time", "always", "never"])
+    def test_promotion_policies_accepted(self, policy):
+        valid_config(promotion_policy=policy).validate()
+
+    def test_paper_defaults(self):
+        config = ZExpanderConfig(total_capacity=1 << 20)
+        assert config.target_service_fraction == 0.90
+        assert config.adjustment_step == 0.03
+        assert config.window_seconds == 60.0
+        assert config.block_capacity == 2048

@@ -1,0 +1,153 @@
+"""Tests for TTL support (ExpiryIndex + ZExpander integration)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.core import ZExpander, ZExpanderConfig
+from repro.core.expiry import ExpiryIndex
+
+
+class TestExpiryIndex:
+    def test_untracked_key_never_expired(self):
+        index = ExpiryIndex()
+        assert not index.is_expired(b"k", now=1e9)
+
+    def test_deadline_respected(self):
+        index = ExpiryIndex()
+        index.set(b"k", 10.0)
+        assert not index.is_expired(b"k", now=9.9)
+        assert index.is_expired(b"k", now=10.0)
+
+    def test_none_clears(self):
+        index = ExpiryIndex()
+        index.set(b"k", 10.0)
+        index.set(b"k", None)
+        assert not index.is_expired(b"k", now=100.0)
+
+    def test_overwrite_moves_deadline(self):
+        index = ExpiryIndex()
+        index.set(b"k", 10.0)
+        index.set(b"k", 50.0)
+        assert not index.is_expired(b"k", now=20.0)
+        assert index.is_expired(b"k", now=50.0)
+
+    def test_pop_due_yields_expired_only(self):
+        index = ExpiryIndex()
+        index.set(b"a", 5.0)
+        index.set(b"b", 15.0)
+        assert list(index.pop_due(now=10.0)) == [b"a"]
+        assert len(index) == 1
+
+    def test_pop_due_skips_stale_heap_entries(self):
+        index = ExpiryIndex()
+        index.set(b"k", 5.0)
+        index.set(b"k", 50.0)  # first heap entry now stale
+        assert list(index.pop_due(now=10.0)) == []
+        assert list(index.pop_due(now=60.0)) == [b"k"]
+
+    def test_pop_due_limit(self):
+        index = ExpiryIndex()
+        for i in range(10):
+            index.set(b"k%d" % i, 1.0)
+        assert len(list(index.pop_due(now=2.0, limit=3))) == 3
+
+    def test_memory_model_grows(self):
+        index = ExpiryIndex()
+        empty = index.memory_bytes
+        index.set(b"k", 1.0)
+        assert index.memory_bytes > empty
+
+
+def make_cache():
+    clock = VirtualClock()
+    cache = ZExpander(
+        ZExpanderConfig(
+            total_capacity=64 * 1024,
+            nzone_fraction=0.3,
+            adaptive=False,
+            marker_interval_seconds=1e9,
+            seed=4,
+        ),
+        clock=clock,
+    )
+    return cache, clock
+
+
+class TestZExpanderTTL:
+    def test_get_before_expiry(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v", ttl=10.0)
+        clock.advance(5.0)
+        assert cache.get(b"k") == b"v"
+
+    def test_get_after_expiry(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v", ttl=10.0)
+        clock.advance(10.5)
+        assert cache.get(b"k") is None
+        assert cache.stats.expirations == 1
+        # Fully gone, not resurrectable.
+        assert cache.get(b"k") is None
+        assert b"k" not in cache
+
+    def test_contains_respects_ttl(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v", ttl=1.0)
+        assert b"k" in cache
+        clock.advance(2.0)
+        assert b"k" not in cache
+
+    def test_overwrite_without_ttl_clears_it(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v1", ttl=1.0)
+        cache.set(b"k", b"v2")
+        clock.advance(100.0)
+        assert cache.get(b"k") == b"v2"
+
+    def test_overwrite_extends_ttl(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v1", ttl=1.0)
+        cache.set(b"k", b"v2", ttl=100.0)
+        clock.advance(50.0)
+        assert cache.get(b"k") == b"v2"
+
+    def test_proactive_purge_via_housekeeping(self):
+        cache, clock = make_cache()
+        cache.set(b"dead", b"v", ttl=1.0)
+        clock.advance(5.0)
+        # Touch an unrelated key: housekeeping purges the due key even
+        # though nothing reads it.
+        cache.set(b"other", b"x")
+        assert cache.stats.expirations == 1
+
+    def test_expired_key_in_zzone_removed(self):
+        cache, clock = make_cache()
+        cache.set(b"cold", b"v", ttl=50.0)
+        # Push it into the Z-zone with fresh traffic.
+        for i in range(600):
+            clock.advance(0.01)
+            cache.set(b"fill:%04d" % i, b"w" * 64)
+        assert cache.nzone.get(b"cold") is None
+        clock.advance(100.0)
+        assert cache.get(b"cold") is None
+        assert not cache.zzone.maybe_contains(b"cold")
+
+    def test_invalid_ttl(self):
+        cache, _clock = make_cache()
+        with pytest.raises(ValueError):
+            cache.set(b"k", b"v", ttl=0)
+
+    def test_delete_clears_ttl(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v", ttl=10.0)
+        cache.delete(b"k")
+        cache.set(b"k", b"v2")
+        clock.advance(100.0)
+        assert cache.get(b"k") == b"v2"
+
+    def test_miss_ratio_counts_expired_gets(self):
+        cache, clock = make_cache()
+        cache.set(b"k", b"v", ttl=1.0)
+        clock.advance(5.0)
+        cache.get(b"k")
+        assert cache.stats.get_misses == 1

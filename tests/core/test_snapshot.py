@@ -1,0 +1,121 @@
+"""Tests for cache snapshots."""
+
+import io
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.core import SimpleKVCache, ZExpander, ZExpanderConfig
+from repro.core.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.nzone import PlainZone
+from repro.workloads.values import PlacesValueGenerator
+
+
+def filled_zexpander(total=64 * 1024, items=400):
+    clock = VirtualClock()
+    cache = ZExpander(
+        ZExpanderConfig(
+            total_capacity=total,
+            nzone_fraction=0.3,
+            adaptive=False,
+            marker_interval_seconds=1e9,
+            seed=9,
+        ),
+        clock=clock,
+    )
+    generator = PlacesValueGenerator(seed=2)
+    for i in range(items):
+        clock.advance(1e-4)
+        cache.set(b"snap:%06d" % i, generator.generate(i))
+    return cache
+
+
+class TestRoundtrip:
+    def test_simple_cache_roundtrip(self, tmp_path):
+        cache = SimpleKVCache(PlainZone(1 << 16))
+        for i in range(50):
+            cache.set(b"k%03d" % i, b"v%03d" % i)
+        path = tmp_path / "cache.snap"
+        written = write_snapshot(cache, path)
+        assert written == 50
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        loaded = load_snapshot(restored, path)
+        assert loaded == 50
+        for i in range(50):
+            assert restored.get(b"k%03d" % i) == b"v%03d" % i
+
+    def test_zexpander_roundtrip_preserves_all_items(self, tmp_path):
+        cache = filled_zexpander()
+        originals = dict(
+            list(cache.zzone.items()) + list(cache.nzone.items())
+        )
+        path = tmp_path / "zx.snap"
+        written = write_snapshot(cache, path)
+        assert written == cache.item_count
+        restored = filled_zexpander(items=0)
+        load_snapshot(restored, path)
+        assert restored.item_count == pytest.approx(cache.item_count, abs=5)
+        wrong = sum(
+            1
+            for key, value in originals.items()
+            if restored.get(key) not in (None, value)
+        )
+        assert wrong == 0
+        restored.check_invariants()
+
+    def test_hot_items_land_in_nzone(self, tmp_path):
+        cache = filled_zexpander()
+        n_keys = [key for key, _value in cache.nzone.items()]
+        path = tmp_path / "zx.snap"
+        write_snapshot(cache, path)
+        restored = filled_zexpander(items=0)
+        load_snapshot(restored, path)
+        resident_in_n = sum(
+            1 for key in n_keys if restored.nzone.get(key) is not None
+        )
+        assert resident_in_n > len(n_keys) * 0.6
+
+    def test_stream_roundtrip(self):
+        cache = SimpleKVCache(PlainZone(4096))
+        cache.set(b"a", b"1")
+        buffer = io.BytesIO()
+        write_snapshot(cache, buffer)
+        buffer.seek(0)
+        assert list(read_snapshot(buffer)) == [(b"a", b"1")]
+
+    def test_empty_cache(self, tmp_path):
+        cache = SimpleKVCache(PlainZone(4096))
+        path = tmp_path / "empty.snap"
+        assert write_snapshot(cache, path) == 0
+        assert list(read_snapshot(path)) == []
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(SnapshotError):
+            list(read_snapshot(io.BytesIO(b"NOTASNAP")))
+
+    def test_truncated_header(self):
+        from repro.core.snapshot import MAGIC
+
+        with pytest.raises(SnapshotError):
+            list(read_snapshot(io.BytesIO(MAGIC + b"\x00\x00")))
+
+    def test_truncated_body(self):
+        from repro.core.snapshot import MAGIC
+
+        data = MAGIC + (5).to_bytes(4, "big") + (5).to_bytes(4, "big") + b"ab"
+        with pytest.raises(SnapshotError):
+            list(read_snapshot(io.BytesIO(data)))
+
+    def test_implausible_lengths(self):
+        from repro.core.snapshot import MAGIC
+
+        data = MAGIC + (1 << 30).to_bytes(4, "big") + (0).to_bytes(4, "big")
+        with pytest.raises(SnapshotError):
+            list(read_snapshot(io.BytesIO(data)))

@@ -1,0 +1,84 @@
+"""ZExpander construction variants: codecs, zones, adaptive resizing."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.compression import LZ4Compressor, NullCompressor
+from repro.core import ZExpander, ZExpanderConfig
+from repro.nzone import MemcachedZone
+from repro.sim.perfsim import mix_from_cache
+from repro.workloads.values import PlacesValueGenerator
+
+
+def build(clock=None, **overrides):
+    config = ZExpanderConfig(total_capacity=overrides.pop("total", 64 * 1024))
+    config.adaptive = overrides.pop("adaptive", False)
+    config.marker_interval_seconds = overrides.pop("marker_interval_seconds", 1e9)
+    config.nzone_fraction = overrides.pop("nzone_fraction", 0.3)
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return ZExpander(config, clock=clock or VirtualClock())
+
+
+class TestCodecPlumbing:
+    @pytest.mark.parametrize("codec", [LZ4Compressor(), NullCompressor()])
+    def test_custom_codec_used_by_zzone(self, codec):
+        cache = build(compressor=codec, nzone_fraction=0.1)
+        generator = PlacesValueGenerator(seed=1)
+        for i in range(200):
+            cache.clock.advance(1e-4)
+            cache.set(b"c%04d" % i, generator.generate(i))
+        assert cache.zzone.compressor is codec
+        assert cache.zzone.item_count > 0
+        # Values still read back intact through the custom codec.
+        hits = sum(
+            1
+            for i in range(200)
+            if cache.get(b"c%04d" % i) in (None, generator.generate(i))
+        )
+        assert hits == 200
+
+
+class TestMemcachedNZoneAdaptive:
+    def test_adaptation_with_memcached_nzone(self):
+        clock = VirtualClock()
+        cache = build(
+            clock=clock,
+            total=256 * 1024,
+            adaptive=True,
+            nzone_factory=lambda cap: MemcachedZone(cap, page_bytes=8 * 1024),
+            window_seconds=0.2,
+            marker_interval_seconds=0.05,
+        )
+        generator = PlacesValueGenerator(seed=2)
+        for i in range(4000):
+            clock.advance(0.001)
+            cache.set(b"m%05d" % (i % 800), generator.generate(i % 3000))
+            cache.get(b"m%05d" % ((i * 3) % 800))
+        assert cache.stats.allocation_adjustments > 0
+        cache.check_invariants()
+        assert cache.nzone.capacity + cache.zzone.capacity == 256 * 1024
+
+
+class TestMixFromCache:
+    def test_false_positive_split(self):
+        cache = build(nzone_fraction=0.1)
+        generator = PlacesValueGenerator(seed=3)
+        for i in range(300):
+            cache.clock.advance(1e-4)
+            cache.set(b"x%04d" % i, generator.generate(i))
+        for i in range(300, 600):
+            cache.clock.advance(1e-4)
+            cache.get(b"x%04d" % i)  # guaranteed misses
+        mix = mix_from_cache(cache)
+        from repro.sim.costmodel import OpKind
+
+        filtered = mix.rate(OpKind.FILTERED_MISS)
+        fp = mix.rate(OpKind.FALSE_POSITIVE_MISS)
+        assert filtered > 0
+        assert fp >= 0
+        # All misses are accounted to exactly one of the two paths.
+        total_requests = cache.stats.gets + cache.stats.sets
+        assert (filtered + fp) * total_requests == pytest.approx(
+            cache.stats.get_misses, abs=1
+        )

@@ -1,0 +1,42 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_scaleless_experiment(self, capsys):
+        assert main(["run", "tab02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "finished in" in out
+
+    def test_run_scaled_experiment(self, capsys):
+        code = main(
+            ["run", "fig01", "--keys", "2000", "--requests", "20000"]
+        )
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_every_registered_module_importable(self):
+        import importlib
+
+        for name, (module_name, _description) in EXPERIMENTS.items():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run"), name
+            assert hasattr(module, "main"), name

@@ -1,0 +1,245 @@
+"""Structural tests for every experiment driver, at a tiny scale.
+
+These verify each table/figure generator produces well-formed output and
+reproduces the paper's *orderings* (who wins, which direction a knob
+moves a metric); the full-size numbers live in the benches and
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.common import Scale
+
+TINY = Scale(num_keys=2_000, num_requests=40_000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def fig02_result():
+    from repro.experiments import fig02_miss_curves
+
+    return fig02_miss_curves.run(TINY, multiples=(1.0, 2.0), workloads=("YCSB", "ETC"))
+
+
+@pytest.fixture(scope="module")
+def mzx_results():
+    from repro.experiments import fig05_memcached_miss, fig06_cached_bytes, fig08_memcached_tput
+
+    return (
+        fig05_memcached_miss.run(TINY, multiples=(2.0,), workloads=("YCSB",)),
+        fig06_cached_bytes.run(TINY, multiples=(2.0,), workloads=("YCSB",)),
+        fig08_memcached_tput.run(TINY, multiples=(2.0,), workloads=("YCSB",)),
+    )
+
+
+@pytest.fixture(scope="module")
+def hzx_results():
+    from repro.experiments import fig10_hp_tput, fig11_latency_cdf, fig12_miss_rate
+
+    mixes = ((0.95, 0.05),)
+    return (
+        fig10_hp_tput.run(TINY, mixes=mixes, threads=(1, 24)),
+        fig11_latency_cdf.run(TINY, mixes=mixes, samples=50_000),
+        fig12_miss_rate.run(TINY, mixes=mixes, threads=(24,)),
+    )
+
+
+class TestFig01:
+    def test_long_tail_ordering(self):
+        from repro.experiments import fig01_access_cdf
+
+        result = fig01_access_cdf.run(TINY, requests_per_key=30)
+        coverage = {name: measured for name, measured, _paper in result.rows}
+        # Figure 1's ordering: ETC most concentrated, USR least.
+        assert coverage["ETC"] < coverage["APP"] < coverage["USR"]
+        assert all(0 < value < 0.6 for value in coverage.values())
+        assert "Figure 1" in result.table()
+
+
+class TestFig02:
+    def test_miss_falls_with_capacity(self, fig02_result):
+        for workload in ("YCSB", "ETC"):
+            for algorithm in ("LRU", "LIRS", "ARC"):
+                series = dict(fig02_result.series(workload, algorithm))
+                assert series[2.0] < series[1.0]
+
+    def test_advanced_beat_lru_at_base(self, fig02_result):
+        lru = dict(fig02_result.series("YCSB", "LRU"))
+        arc = dict(fig02_result.series("YCSB", "ARC"))
+        assert arc[1.0] <= lru[1.0]
+
+    def test_table_renders(self, fig02_result):
+        assert "Figure 2" in fig02_result.table()
+
+
+class TestTab01:
+    def test_structure(self):
+        from repro.experiments import tab01_miss_removal
+
+        result = tab01_miss_removal.run(
+            TINY, multiples=(1.0, 2.0), workloads=("YCSB",)
+        )
+        assert result.removed("YCSB", "LRU-X", 1.0) == pytest.approx(0.0)
+        # Doubling the cache removes a large share of misses (Table 1).
+        assert result.removed("YCSB", "LRU-X", 2.0) < -0.05
+        # LRU is at least as good as LRU-X at every size (it exploits
+        # locality in the tail; LRU-X explicitly does not).
+        assert result.removed("YCSB", "LRU", 2.0) <= result.removed(
+            "YCSB", "LRU-X", 2.0
+        )
+        assert "Table 1" in result.table()
+
+
+class TestTab02:
+    def test_batched_compression_grows_with_container(self):
+        from repro.experiments import tab02_compression
+
+        result = tab02_compression.run(corpus_size=800)
+        tweets_lz4 = dict(result.series("Tweets", "lz4"))
+        assert tweets_lz4[4096] > tweets_lz4[256]
+        places_lz4 = dict(result.series("Places", "lz4"))
+        assert places_lz4[4096] > places_lz4[256]
+        assert "Table 2" in result.table()
+
+    def test_tweets_individual_near_one(self):
+        from repro.experiments import tab02_compression
+
+        result = tab02_compression.run(corpus_size=800)
+        for corpus, codec, individual, _by_size in result.rows:
+            if corpus == "Tweets" and codec == "lz4":
+                assert individual == pytest.approx(1.0, abs=0.08)
+
+
+class TestMzxGrid:
+    def test_fig05_zexpander_reduces_misses(self, mzx_results):
+        fig05, _fig06, _fig08 = mzx_results
+        for reduction in fig05.reductions("YCSB"):
+            assert reduction > 0.0
+
+    def test_fig06_more_bytes_cached(self, mzx_results):
+        _fig05, fig06, _fig08 = mzx_results
+        for increase in fig06.increases("YCSB"):
+            assert increase > 0.0
+
+    def test_fig08_within_ten_percent(self, mzx_results):
+        _fig05, _fig06, fig08 = mzx_results
+        for ratio in fig08.ratios():
+            assert ratio > 0.90  # paper: within 4 % at production scale
+
+    def test_tables_render(self, mzx_results):
+        fig05, fig06, fig08 = mzx_results
+        assert "Figure 5" in fig05.table()
+        assert "Figure 6" in fig06.table()
+        assert "Figure 8" in fig08.table()
+
+
+class TestFig09:
+    def test_scaling_capped_by_network(self):
+        from repro.experiments import fig09_memcached_threads
+
+        result = fig09_memcached_threads.run(TINY, multiples=(2.0,), threads=(1, 24))
+        for system in ("memcached", "M-zExpander"):
+            series = dict(result.series(2.0, system))
+            assert series[24] < series[1] * 10  # far below linear
+            assert series[24] < 700_000  # paper's ceiling
+
+
+class TestHzx:
+    def test_fig10_ordering_and_catchup(self, hzx_results):
+        fig10, _fig11, _fig12 = hzx_results
+        label = "95% GET / 5% SET"
+        hcache = dict(fig10.series(label, "H-Cache"))
+        hzx = dict(fig10.series(label, "H-zExpander"))
+        assert hzx[1] < hcache[1]  # zExpander pays at low threads
+        # ... but closes the gap at high thread counts (Figure 10).
+        assert hzx[24] / hcache[24] > hzx[1] / hcache[1]
+
+    def test_fig11_tail_crossover(self, hzx_results):
+        _fig10, fig11, _fig12 = hzx_results
+        label = "95% GET / 5% SET"
+        assert fig11.at(label, "H-zExpander", 99.0) < fig11.at(
+            label, "H-Cache", 99.0
+        )
+
+    def test_fig12_fewer_misses_per_second(self, hzx_results):
+        _fig10, _fig11, fig12 = hzx_results
+        label = "95% GET / 5% SET"
+        hcache = dict(fig12.series(label, "H-Cache"))
+        hzx = dict(fig12.series(label, "H-zExpander"))
+        assert hzx[24] < hcache[24]
+
+
+class TestFig13:
+    def test_filters_help_more_with_more_misses(self):
+        from repro.experiments import fig13_bloom
+
+        result = fig13_bloom.run(TINY, miss_ratios=(0.5, 1.0), threads=(5,))
+        assert result.gain(0.5, 5) > 0.1
+        assert result.gain(1.0, 5) > result.gain(0.5, 5)
+        assert 0.0 <= result.false_positive_ratio < 0.12
+
+
+class TestFig14:
+    def test_threshold_tradeoff(self):
+        from repro.experiments import fig14_threshold
+
+        result = fig14_threshold.run(TINY, thresholds=(0.6, 0.95))
+        series = {t: (rps, miss) for t, rps, miss in result.series()}
+        # Larger threshold -> larger N-zone -> higher miss ratio.
+        assert series[0.95][1] > series[0.6][1]
+
+
+class TestFig15And16:
+    def test_adaptation_direction(self):
+        from repro.experiments import fig16_adaptation_perf
+
+        # The adaptation dynamics need a cache meaningfully smaller than
+        # the data set; the shared TINY scale is too small for that.
+        result = fig16_adaptation_perf.run(
+            Scale(num_keys=3_000, num_requests=60_000, seed=42), windows=24
+        )
+        uniform = result.timeline.phase_points("uniform")
+        zipfian = result.timeline.phase_points("zipfian")
+        assert uniform and zipfian
+        # Uniform: N-zone grows.  Zipfian: space shifts back to the Z-zone.
+        assert uniform[-1].nzone_capacity > uniform[0].nzone_capacity
+        assert zipfian[-1].nzone_capacity < zipfian[0].nzone_capacity
+        # Miss ratio collapses after the switch (Figure 16).
+        miss_uniform, _ = result.phase_average("uniform")
+        miss_zipf, _ = result.phase_average("zipfian")
+        assert miss_zipf < miss_uniform
+
+
+class TestAblations:
+    def test_block_size_tradeoff(self):
+        from repro.experiments import abl_block_size
+
+        result = abl_block_size.run(capacity=256 * 1024, block_sizes=(256, 2048))
+        ratios = dict(result.ratio_series())
+        assert ratios[2048] > ratios[256]
+
+    def test_index_ablation(self):
+        from repro.experiments import abl_index
+
+        result = abl_index.run(capacity=256 * 1024)
+        trie_row = result.rows[0]
+        memcached_row = result.rows[1]
+        assert trie_row[1] < memcached_row[1]  # trie uses far less memory
+        assert result.average_probes < 4.0
+
+    def test_sweep_ablation(self):
+        from repro.experiments import abl_zreplacement
+
+        result = abl_zreplacement.run(TINY)
+        assert result.miss_ratio("access-filter sweep (paper)") <= result.miss_ratio(
+            "blind sweep"
+        ) * 1.05
+
+    def test_promotion_ablation(self):
+        from repro.experiments import abl_promotion
+
+        result = abl_promotion.run(TINY)
+        always = result.row("always")
+        reuse = result.row("reuse-time")
+        # Always-promote churns items and floods the Z-zone with writes.
+        assert always[3] > reuse[3]  # more demotions
+        assert always[5] < reuse[5]  # lower throughput

@@ -1,0 +1,138 @@
+"""End-to-end integration tests: whole-system behaviour under real replays."""
+
+import random
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.core import SimpleKVCache, ZExpander, ZExpanderConfig, replay_trace
+from repro.experiments.common import Scale, base_size_of, build_trace, build_value_source
+from repro.nzone import HPCacheZone, MemcachedZone
+from repro.workloads.values import PlacesValueGenerator
+
+SCALE = Scale(num_keys=3_000, num_requests=60_000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def ycsb():
+    trace = build_trace("YCSB", SCALE)
+    return trace, build_value_source("YCSB", trace, seed=SCALE.seed)
+
+
+class TestHeadlineResult:
+    """The paper's core claim: fewer misses at comparable performance."""
+
+    def test_hzx_beats_hcache_on_misses(self, ycsb):
+        trace, values = ycsb
+        capacity = int(base_size_of("YCSB", SCALE) * 5.0)
+        duration = SCALE.num_requests / 1e5
+
+        clock = VirtualClock()
+        hcache = SimpleKVCache(HPCacheZone(capacity, seed=1))
+        hc_stats = replay_trace(hcache, trace, values, clock=clock, request_rate=1e5)
+
+        clock = VirtualClock()
+        config = ZExpanderConfig(
+            total_capacity=capacity,
+            nzone_fraction=0.3,
+            adaptive=True,
+            target_service_fraction=0.85,
+            window_seconds=duration / 24,
+            marker_interval_seconds=duration / 96,
+            seed=1,
+        )
+        hzx = ZExpander(config, clock=clock)
+        zx_stats = replay_trace(hzx, trace, values, clock=clock, request_rate=1e5)
+        hzx.check_invariants()
+
+        assert zx_stats.miss_ratio < hc_stats.miss_ratio
+        assert hzx.item_count > hcache.item_count
+        # The N-zone still serves the bulk of expensive requests.
+        assert hzx.stats.nzone_service_fraction > 0.7
+
+    def test_mzx_beats_memcached_on_misses(self, ycsb):
+        trace, values = ycsb
+        capacity = int(base_size_of("YCSB", SCALE) * 2.0)
+
+        clock = VirtualClock()
+        memcached = SimpleKVCache(MemcachedZone(capacity, page_bytes=8 * 1024))
+        mc_stats = replay_trace(memcached, trace, values, clock=clock, request_rate=5e4)
+
+        clock = VirtualClock()
+        config = ZExpanderConfig(
+            total_capacity=capacity,
+            nzone_fraction=0.5,
+            nzone_factory=lambda cap: MemcachedZone(cap, page_bytes=8 * 1024),
+            adaptive=False,
+            marker_interval_seconds=0.2,
+            seed=1,
+        )
+        mzx = ZExpander(config, clock=clock)
+        zx_stats = replay_trace(mzx, trace, values, clock=clock, request_rate=5e4)
+        mzx.check_invariants()
+
+        assert zx_stats.miss_ratio < mc_stats.miss_ratio
+
+
+class TestDataIntegrity:
+    """The cache must never return wrong bytes, whatever the churn."""
+
+    def test_zexpander_vs_reference_model(self):
+        rng = random.Random(11)
+        generator = PlacesValueGenerator(seed=5)
+        clock = VirtualClock()
+        config = ZExpanderConfig(
+            total_capacity=96 * 1024,
+            nzone_fraction=0.3,
+            adaptive=True,
+            window_seconds=0.5,
+            marker_interval_seconds=0.1,
+            seed=2,
+        )
+        cache = ZExpander(config, clock=clock)
+        model = {}
+        wrong = 0
+        for step in range(15_000):
+            clock.advance(0.001)
+            key_id = rng.randrange(1200)
+            key = b"it:%08d" % key_id
+            action = rng.random()
+            if action < 0.30:
+                value = generator.generate(rng.randrange(10_000))
+                cache.set(key, value)
+                model[key] = value
+            elif action < 0.95:
+                result = cache.get(key)
+                if result is not None and key in model:
+                    if result != model[key]:
+                        wrong += 1
+                # A stale read of a superseded value is a correctness bug;
+                # result for an unknown key being None is fine (evicted).
+                if result is not None and key not in model:
+                    wrong += 1
+            else:
+                cache.delete(key)
+                model.pop(key, None)
+            if step % 5000 == 0:
+                cache.check_invariants()
+        cache.check_invariants()
+        assert wrong == 0
+
+    def test_budget_respected_through_adaptation(self):
+        clock = VirtualClock()
+        config = ZExpanderConfig(
+            total_capacity=64 * 1024,
+            nzone_fraction=0.4,
+            adaptive=True,
+            window_seconds=0.2,
+            marker_interval_seconds=0.05,
+            seed=3,
+        )
+        cache = ZExpander(config, clock=clock)
+        generator = PlacesValueGenerator(seed=6)
+        for i in range(8_000):
+            clock.advance(0.001)
+            cache.set(b"key:%06d" % (i % 900), generator.generate(i % 5000))
+            # Zone budgets always partition the configured total.
+            assert cache.nzone.capacity + cache.zzone.capacity == 64 * 1024
+        assert cache.zzone.used_bytes <= cache.zzone.capacity

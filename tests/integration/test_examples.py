@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable and exposes ``main``; the cheapest one runs
+end-to-end.  (The longer examples are exercised manually and share all
+their machinery with the integration tests above.)
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+        assert len(names) >= 4
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "items cached:" in out
+        assert "Z-zone:" in out

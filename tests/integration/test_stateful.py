@@ -1,0 +1,92 @@
+"""Hypothesis stateful tests: the cache vs an oracle dictionary.
+
+The rule machine drives a ZExpander (small capacity, adaptation on, fast
+markers) with interleaved sets/gets/deletes/time-jumps, checking after
+every step that the cache never serves wrong bytes, never resurrects
+deleted keys, and keeps its internal accounting consistent.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.common.clock import VirtualClock
+from repro.core import ZExpander, ZExpanderConfig
+
+KEYS = st.integers(min_value=0, max_value=60)
+VALUES = st.binary(min_size=1, max_size=120)
+
+
+class ZExpanderMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = VirtualClock()
+        self.cache = ZExpander(
+            ZExpanderConfig(
+                total_capacity=24 * 1024,
+                nzone_fraction=0.3,
+                adaptive=True,
+                window_seconds=0.5,
+                marker_interval_seconds=0.1,
+                seed=17,
+            ),
+            clock=self.clock,
+        )
+        #: Oracle of the *last written* value per key.  The cache may
+        #: evict (a get then returns None) but must never return stale
+        #: or foreign bytes.
+        self.oracle = {}
+        self.steps = 0
+
+    def _key(self, key_id: int) -> bytes:
+        return b"sm:%04d" % key_id
+
+    @rule(key_id=KEYS, value=VALUES)
+    def set_item(self, key_id, value):
+        self.clock.advance(0.001)
+        self.cache.set(self._key(key_id), value)
+        self.oracle[key_id] = value
+        self.steps += 1
+
+    @rule(key_id=KEYS)
+    def get_item(self, key_id):
+        self.clock.advance(0.001)
+        result = self.cache.get(self._key(key_id))
+        if key_id in self.oracle:
+            assert result in (None, self.oracle[key_id])
+        else:
+            assert result is None
+        self.steps += 1
+
+    @rule(key_id=KEYS)
+    def delete_item(self, key_id):
+        self.clock.advance(0.001)
+        self.cache.delete(self._key(key_id))
+        self.oracle.pop(key_id, None)
+        self.steps += 1
+
+    @rule(seconds=st.floats(min_value=0.01, max_value=30.0))
+    def advance_time(self, seconds):
+        self.clock.advance(seconds)
+
+    @precondition(lambda self: self.steps % 7 == 0)
+    @rule()
+    def check_structures(self):
+        self.cache.check_invariants()
+
+    @invariant()
+    def budget_partitioned(self):
+        assert (
+            self.cache.nzone.capacity + self.cache.zzone.capacity
+            == self.cache.config.total_capacity
+        )
+
+    @invariant()
+    def zzone_within_budget(self):
+        assert self.cache.zzone.used_bytes <= self.cache.zzone.capacity
+
+
+TestZExpanderStateful = ZExpanderMachine.TestCase
+TestZExpanderStateful.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,74 @@
+"""Tests for the Figure 7 accounting machinery."""
+
+import itertools
+
+from repro.common.clock import VirtualClock
+from repro.compression import ZlibCompressor
+from repro.memory import (
+    breakdown_memcached,
+    breakdown_zzone,
+    fill_memcached,
+    fill_zzone,
+)
+from repro.nzone.memcached import MemcachedZone
+from repro.workloads.values import PlacesValueGenerator
+from repro.zzone.zzone import ZZone
+
+
+def item_stream(seed=1):
+    generator = PlacesValueGenerator(seed=seed)
+    for index in itertools.count():
+        yield b"key:%010d" % index, generator.generate(index)
+
+
+class TestFillMemcached:
+    def test_fills_until_eviction(self):
+        zone = MemcachedZone(128 * 1024, page_bytes=16 * 1024)
+        resident_bytes, count = fill_memcached(zone, item_stream())
+        assert count > 100
+        assert resident_bytes > 0
+        assert zone._slabs.allocated_bytes <= 128 * 1024
+
+    def test_compressed_fill_stores_more_items(self):
+        plain = MemcachedZone(128 * 1024, page_bytes=16 * 1024)
+        _bytes_plain, count_plain = fill_memcached(plain, item_stream())
+        compressed = MemcachedZone(128 * 1024, page_bytes=16 * 1024)
+        _bytes_c, count_c = fill_memcached(
+            compressed, item_stream(), value_codec=ZlibCompressor()
+        )
+        # Paper: individual compression helps only modestly (~13.5 %).
+        assert count_c >= count_plain
+        assert count_c < count_plain * 1.6
+
+
+class TestBreakdowns:
+    def test_memcached_breakdown_fractions(self):
+        zone = MemcachedZone(256 * 1024, page_bytes=16 * 1024)
+        resident, _count = fill_memcached(zone, item_stream())
+        breakdown = breakdown_memcached(zone, resident)
+        assert breakdown.total == zone.used_bytes
+        # Figure 7 shape: barely half the memory holds payload; a big
+        # metadata slice.
+        assert 0.4 < breakdown.fraction("items") < 0.75
+        assert breakdown.fraction("metadata") > 0.15
+
+    def test_zzone_breakdown_fractions(self):
+        zone = ZZone(256 * 1024, compressor=ZlibCompressor(), clock=VirtualClock())
+        fill_zzone(zone, item_stream())
+        breakdown = breakdown_zzone(zone)
+        # Figure 7 shape: the Z-zone spends most memory on items and
+        # very little on metadata.
+        assert breakdown.fraction("items") > 0.7
+        assert breakdown.fraction("metadata") < 0.25
+        assert breakdown.uncompressed_items > breakdown.items
+
+    def test_zzone_holds_more_data_than_memcached(self):
+        capacity = 256 * 1024
+        memcached = MemcachedZone(capacity, page_bytes=16 * 1024)
+        resident, _ = fill_memcached(memcached, item_stream())
+        mc_breakdown = breakdown_memcached(memcached, resident)
+        zzone = ZZone(capacity, compressor=ZlibCompressor(), clock=VirtualClock())
+        fill_zzone(zzone, item_stream())
+        z_breakdown = breakdown_zzone(zzone)
+        # Paper: +126 % KV bytes in the Z-zone-only cache at 60 GB.
+        assert z_breakdown.uncompressed_items > 1.5 * mc_breakdown.uncompressed_items

@@ -1,0 +1,43 @@
+"""H-Cache-specific tests (CLOCK + cuckoo)."""
+
+from repro.nzone import HPCacheZone
+
+
+class TestHPCacheClock:
+    def test_referenced_item_survives(self):
+        # Capacity: three items plus the minimum table (4 buckets x 32 B).
+        zone = HPCacheZone(3 * (1 + 100 + 24) + 128 + 10, seed=1)
+        zone.set(b"a", b"v" * 100)
+        zone.set(b"b", b"v" * 100)
+        zone.set(b"c", b"v" * 100)
+        zone.get(b"a")  # sets a's reference bit
+        evicted = zone.set(b"d", b"v" * 100)
+        assert all(item.key != b"a" for item in evicted)
+        assert b"a" in zone
+
+    def test_ring_compaction_preserves_contents(self):
+        zone = HPCacheZone(1 << 20, seed=1)
+        for i in range(200):
+            zone.set(b"key%04d" % i, b"v" * 10)
+        # Delete most entries to trigger compaction of the CLOCK ring.
+        for i in range(0, 200, 2):
+            zone.delete(b"key%04d" % i)
+        zone.check_invariants()
+        for i in range(1, 200, 2):
+            assert zone.get(b"key%04d" % i) == b"v" * 10
+
+    def test_heavy_churn_invariants(self):
+        zone = HPCacheZone(8 * 1024, seed=2)
+        for i in range(3000):
+            zone.set(b"key%05d" % (i % 500), b"v" * (i % 90 + 1))
+            if i % 7 == 0:
+                zone.delete(b"key%05d" % ((i * 3) % 500))
+        zone.check_invariants()
+        assert zone.used_bytes <= zone.capacity
+
+    def test_metadata_includes_table(self):
+        zone = HPCacheZone(1 << 20, seed=1)
+        zone.set(b"key", b"value")
+        usage = zone.memory_usage()
+        assert usage["metadata"] > 0
+        assert usage["items"] == len(b"key") + len(b"value")

@@ -1,0 +1,54 @@
+"""ARC-specific adaptation tests."""
+
+from repro.replacement import ARCCache, LRUCache
+
+
+class TestARC:
+    def test_frequency_promotion(self):
+        cache = ARCCache(300)
+        cache.access(1, 100)
+        cache.access(1, 100)  # now in T2 (frequency list)
+        cache.access(2, 100)
+        cache.access(3, 100)
+        cache.access(4, 100)  # pressure: recency list pays first
+        assert 1 in cache
+
+    def test_ghost_hit_readmits_to_frequency(self):
+        cache = ARCCache(200)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)  # evicts 1 into B1
+        assert 1 not in cache
+        cache.access(1, 100)  # ghost hit: back in, p adapts
+        assert 1 in cache
+
+    def test_scan_resistance(self):
+        """A one-pass scan should not flush the frequent working set."""
+        cache = ARCCache(1000)
+        for _ in range(5):
+            for key in range(5):
+                cache.access(key, 100)  # hot set: 500 B, frequently used
+        for scan_key in range(100, 130):
+            cache.access(scan_key, 100)  # one-shot scan traffic
+        hot_retained = sum(1 for key in range(5) if key in cache)
+
+        lru = LRUCache(1000)
+        for _ in range(5):
+            for key in range(5):
+                lru.access(key, 100)
+        for scan_key in range(100, 130):
+            lru.access(scan_key, 100)
+        lru_retained = sum(1 for key in range(5) if key in lru)
+
+        assert hot_retained >= lru_retained
+        assert hot_retained >= 3
+
+    def test_delete_drops_ghost_history(self):
+        cache = ARCCache(200)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)  # 1 ghosted
+        assert cache.delete(1) is False  # not resident, but ghost dropped
+        cache.access(1, 100)
+        assert 1 in cache
+        cache.check_invariants()

@@ -1,0 +1,37 @@
+"""CLOCK-specific second-chance tests."""
+
+from repro.replacement import ClockCache
+
+
+class TestClockSecondChance:
+    def test_referenced_item_survives_one_sweep(self):
+        cache = ClockCache(300)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)
+        cache.access(1, 100)  # set 1's reference bit
+        cache.access(4, 100)  # hand clears 1's bit, evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_unreferenced_evicted_in_insertion_order(self):
+        cache = ClockCache(200)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)  # no refs set: 1 evicted first
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_all_referenced_victimises_the_newcomer(self):
+        # Canonical CLOCK: with every resident referenced, the hand
+        # clears their bits and the first unreferenced entry it meets is
+        # the incoming item itself.
+        cache = ClockCache(200)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)
+        assert 1 in cache and 2 in cache
+        assert 3 not in cache
+        assert cache.used_bytes <= 200

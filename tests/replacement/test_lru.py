@@ -1,0 +1,39 @@
+"""LRU-specific ordering tests."""
+
+from repro.replacement import LRUCache
+
+
+class TestLRUOrdering:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(300)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)
+        cache.access(1, 100)  # refresh 1
+        cache.access(4, 100)  # evicts 2 (the LRU), not 1
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache and 4 in cache
+
+    def test_hit_refreshes_position(self):
+        cache = LRUCache(200)
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(1, 100)
+        cache.access(3, 100)  # evicts 2
+        assert 1 in cache and 2 not in cache
+
+    def test_large_item_evicts_many(self):
+        cache = LRUCache(300)
+        for key in range(3):
+            cache.access(key, 100)
+        cache.access(10, 250)
+        assert 10 in cache
+        assert cache.used_bytes <= 300
+
+    def test_resize_to_smaller_evicts_on_next_touch(self):
+        cache = LRUCache(400)
+        for key in range(4):
+            cache.access(key, 100)
+        sizes = cache.resident_sizes()
+        assert sum(sizes.values()) == 400

@@ -1,0 +1,51 @@
+"""LRU-X-specific tests (§2.1's hypothetical reference policy)."""
+
+import pytest
+
+from repro.replacement import LRUCache, LRUXCache
+
+
+class TestLRUX:
+    def test_base_equals_capacity_behaves_as_lru(self):
+        lrux = LRUXCache(300, base_capacity=300, seed=1)
+        lru = LRUCache(300)
+        sequence = [(1, 100), (2, 100), (3, 100), (1, 100), (4, 100), (2, 100)]
+        lrux_hits = [lrux.access(k, s) for k, s in sequence]
+        lru_hits = [lru.access(k, s) for k, s in sequence]
+        assert lrux_hits == lru_hits
+
+    def test_spill_lands_in_overflow(self):
+        lrux = LRUXCache(600, base_capacity=300, seed=1)
+        lrux.access(1, 100)
+        lrux.access(2, 100)
+        lrux.access(3, 100)
+        lrux.access(4, 100)  # 1 spills to overflow but stays cached
+        assert 1 in lrux
+        assert lrux.used_bytes <= 600
+
+    def test_overflow_hit_returns_to_base(self):
+        lrux = LRUXCache(600, base_capacity=300, seed=1)
+        for key in range(1, 5):
+            lrux.access(key, 100)
+        assert lrux.access(1, 100) is True  # overflow hit
+        # 1 must now be in the base (MRU); another insert spills someone else
+        lrux.access(9, 100)
+        assert 1 in lrux
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            LRUXCache(100, base_capacity=0)
+        with pytest.raises(ValueError):
+            LRUXCache(100, base_capacity=200)
+
+    def test_tail_is_random_not_lru(self):
+        # With a long tail, LRU-X retention in the overflow area should
+        # not follow recency strictly: run a workload where LRU would
+        # retain the most recent tail items and check LRU-X keeps a
+        # random subset instead.
+        lrux = LRUXCache(1000, base_capacity=200, seed=3)
+        for key in range(100):
+            lrux.access(key, 100)
+        resident = set(lrux.resident_sizes())
+        most_recent = set(range(92, 100))
+        assert resident != most_recent

@@ -1,0 +1,59 @@
+"""Tests for the USL contention model."""
+
+import pytest
+
+from repro.sim.contention import MEMCACHED_CONTENTION, ContentionModel
+
+
+class TestContentionModel:
+    def test_single_thread_no_penalty(self):
+        model = ContentionModel()
+        assert model.speedup(1, lock_share=1.0, set_fraction=0.0) == pytest.approx(1.0)
+
+    def test_speedup_sublinear(self):
+        model = ContentionModel()
+        speedup = model.speedup(24, lock_share=1.0, set_fraction=0.0)
+        assert 1.0 < speedup < 24.0
+
+    def test_more_sets_more_contention(self):
+        model = ContentionModel()
+        read_heavy = model.speedup(24, 1.0, set_fraction=0.05)
+        write_heavy = model.speedup(24, 1.0, set_fraction=0.5)
+        assert write_heavy < read_heavy
+
+    def test_lower_lock_share_scales_better(self):
+        model = ContentionModel()
+        full = model.speedup(24, lock_share=1.0, set_fraction=0.05)
+        diverted = model.speedup(24, lock_share=0.85, set_fraction=0.05)
+        assert diverted > full
+
+    def test_zero_lock_share_is_linear(self):
+        model = ContentionModel()
+        assert model.speedup(24, 0.0, 0.0) == pytest.approx(24.0)
+
+    def test_throughput_scales_base_rate(self):
+        model = ContentionModel()
+        x1 = model.throughput(1, 1e6, 1.0, 0.0)
+        assert x1 == pytest.approx(1e6)
+
+    def test_wait_inflation_grows_with_threads(self):
+        model = ContentionModel()
+        assert model.wait_inflation(24, 1.0, 0.05) > model.wait_inflation(
+            4, 1.0, 0.05
+        )
+
+    def test_memcached_anchor(self):
+        """§4.3: <100 K RPS at 1 thread, <700 K at 24."""
+        speedup = MEMCACHED_CONTENTION.speedup(24, 1.0, 0.05)
+        assert 5.0 < speedup < 8.5
+
+    def test_invalid_inputs(self):
+        model = ContentionModel()
+        with pytest.raises(ValueError):
+            model.speedup(0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            model.speedup(4, 1.5, 0.0)
+        with pytest.raises(ValueError):
+            model.speedup(4, 1.0, -0.1)
+        with pytest.raises(ValueError):
+            model.throughput(4, 0.0, 1.0, 0.0)

@@ -1,0 +1,52 @@
+"""The package's public surface: everything advertised exists and works."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, _minor, _patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_units(self):
+        assert repro.GB == repro.MB * 1024 == repro.KB * 1024 * 1024
+
+    def test_readme_quickstart_works(self):
+        cache = repro.ZExpander(
+            repro.ZExpanderConfig(total_capacity=4 * repro.MB)
+        )
+        cache.set(b"user:42", b"value bytes")
+        cache.set(b"session:9", b"expires soon", ttl=300.0)
+        assert cache.get(b"user:42") == b"value bytes"
+        cache.delete(b"user:42")
+        assert cache.stats.miss_ratio == 0.0
+        assert cache.zzone.block_count >= 1
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.compression
+        import repro.core
+        import repro.memory
+        import repro.nzone
+        import repro.replacement
+        import repro.sim
+        import repro.workloads
+        import repro.zzone
+
+        for module in (
+            repro.analysis,
+            repro.compression,
+            repro.core,
+            repro.memory,
+            repro.nzone,
+            repro.replacement,
+            repro.sim,
+            repro.workloads,
+            repro.zzone,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

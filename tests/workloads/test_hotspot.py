@@ -1,0 +1,79 @@
+"""Tests for hotspot and latest popularity generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.hotspot import HotspotGenerator, LatestGenerator
+
+
+class TestHotspotGenerator:
+    def test_range(self):
+        generator = HotspotGenerator(100, seed=1)
+        ranks = generator.sample(5000)
+        assert ranks.min() >= 0 and ranks.max() < 100
+
+    def test_hot_set_share(self):
+        generator = HotspotGenerator(
+            1000, hot_item_fraction=0.1, hot_access_fraction=0.9, seed=2
+        )
+        ranks = generator.sample(40_000)
+        hot_share = float(np.mean(ranks < 100))
+        assert hot_share == pytest.approx(0.9, abs=0.02)
+
+    def test_probability_sums_to_one(self):
+        generator = HotspotGenerator(50, hot_item_fraction=0.2, seed=3)
+        total = sum(generator.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_hot_items_more_popular(self):
+        generator = HotspotGenerator(
+            100, hot_item_fraction=0.1, hot_access_fraction=0.8
+        )
+        assert generator.probability(0) > generator.probability(99)
+
+    def test_next_rank(self):
+        generator = HotspotGenerator(10, seed=4)
+        assert 0 <= generator.next_rank() < 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HotspotGenerator(0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_item_fraction=1.0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_access_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10).sample(-1)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10).probability(10)
+
+
+class TestLatestGenerator:
+    def test_newest_most_popular(self):
+        generator = LatestGenerator(1000, seed=1)
+        ranks = generator.sample(30_000)
+        newest = generator.frontier - 1
+        counts = np.bincount(ranks, minlength=generator.frontier)
+        assert counts[newest] == counts.max()
+
+    def test_frontier_moves(self):
+        generator = LatestGenerator(100, seed=2)
+        before = generator.frontier
+        generator.extend(10)
+        assert generator.frontier == before + 10
+        ranks = generator.sample(1000)
+        assert ranks.max() < generator.frontier
+
+    def test_clipped_at_zero(self):
+        generator = LatestGenerator(1000, seed=3)
+        assert generator.sample(5000).min() >= 0
+
+    def test_next_rank(self):
+        generator = LatestGenerator(50, seed=4)
+        assert 0 <= generator.next_rank() < 50
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LatestGenerator(0)
+        with pytest.raises(ValueError):
+            LatestGenerator(10).extend(-1)

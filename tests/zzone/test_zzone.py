@@ -1,0 +1,278 @@
+"""Tests for the Z-zone manager."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ItemTooLargeError
+from repro.common.hashing import hash_key
+from repro.compression import NullCompressor, ZlibCompressor
+from repro.zzone import ZZone
+
+
+def make_zone(capacity=64 * 1024, block_capacity=512, **kwargs):
+    return ZZone(
+        capacity,
+        compressor=kwargs.pop("compressor", ZlibCompressor()),
+        block_capacity=block_capacity,
+        clock=kwargs.pop("clock", VirtualClock()),
+        **kwargs,
+    )
+
+
+class TestBasicOperations:
+    def test_get_absent(self):
+        assert make_zone().get(b"nope") is None
+
+    def test_put_get_roundtrip(self):
+        zone = make_zone()
+        zone.put(b"key", b"value")
+        value, reuse = zone.get(b"key")
+        assert value == b"value"
+        assert reuse is None  # first recorded access
+
+    def test_reuse_time_on_second_get(self):
+        clock = VirtualClock()
+        zone = make_zone(clock=clock)
+        zone.put(b"key", b"value")
+        zone.get(b"key")
+        clock.advance(2.0)
+        _value, reuse = zone.get(b"key")
+        assert reuse == pytest.approx(2.0)
+
+    def test_overwrite_replaces(self):
+        zone = make_zone()
+        zone.put(b"key", b"v1")
+        zone.put(b"key", b"v2")
+        assert zone.get(b"key")[0] == b"v2"
+        assert zone.item_count == 1
+
+    def test_delete(self):
+        zone = make_zone()
+        zone.put(b"key", b"value")
+        assert zone.delete(b"key") is True
+        assert zone.get(b"key") is None
+        assert zone.delete(b"key") is False
+        assert zone.item_count == 0
+
+    def test_maybe_contains(self):
+        zone = make_zone()
+        zone.put(b"key", b"value")
+        assert zone.maybe_contains(b"key") is True
+
+    def test_item_too_large_rejected(self):
+        zone = make_zone(capacity=4096)
+        with pytest.raises(ItemTooLargeError):
+            zone.put(b"big", b"x" * 5000)
+
+    def test_many_items_split_blocks(self):
+        zone = make_zone(block_capacity=256)
+        for i in range(200):
+            zone.put(b"key%04d" % i, b"v" * 30)
+        assert zone.block_count > 1
+        assert zone.stats.splits > 0
+        zone.check_invariants()
+        for i in range(200):
+            assert zone.get(b"key%04d" % i)[0] == b"v" * 30
+
+
+class TestContentFilter:
+    def test_absent_key_answered_by_filter(self):
+        zone = make_zone()
+        zone.put(b"present", b"v")
+        before = zone.stats.decompressions
+        zone.get(b"absent-key-xyz")
+        # Overwhelmingly the filter answers without decompression.
+        assert zone.stats.filter_skips >= 1 or zone.stats.false_positives >= 1
+        assert zone.stats.decompressions <= before + 1
+
+    def test_filter_disabled_always_decompresses(self):
+        zone = make_zone(use_content_filter=False)
+        zone.put(b"present", b"v")
+        before = zone.stats.decompressions
+        zone.get(b"absent-key-xyz")
+        assert zone.stats.decompressions == before + 1
+        assert zone.stats.filter_skips == 0
+
+    def test_filter_negative_delete_is_free(self):
+        zone = make_zone()
+        zone.put(b"present", b"v")
+        before = zone.stats.decompressions
+        assert zone.delete(b"never-there") is False
+        assert zone.stats.decompressions == before
+
+
+class TestEviction:
+    def test_capacity_respected(self):
+        zone = make_zone(capacity=16 * 1024)
+        for i in range(2000):
+            zone.put(b"key%05d" % i, b"v" * 50)
+        assert zone.used_bytes <= zone.capacity
+        assert zone.stats.evicted_items > 0
+        zone.check_invariants()
+
+    def test_access_filter_protects_hot_items(self):
+        rng = random.Random(5)
+        zone = make_zone(capacity=24 * 1024, seed=3)
+        hot = [b"hot%03d" % i for i in range(10)]
+        for i in range(1500):
+            zone.put(b"cold%05d" % i, b"v" * 60)
+            if i < 10:
+                zone.put(hot[i], b"h" * 60)
+            for key in rng.sample(hot, 3):
+                zone.get(key)
+        hot_alive = sum(1 for key in hot if zone.get(key) is not None)
+        assert hot_alive >= 8
+
+    def test_blind_sweep_when_access_filter_off(self):
+        zone = make_zone(capacity=16 * 1024, use_access_filter=False)
+        for i in range(1500):
+            zone.put(b"key%05d" % i, b"v" * 60)
+        assert zone.used_bytes <= zone.capacity
+        zone.check_invariants()
+
+    def test_shrink_below_structural_floor_terminates(self):
+        zone = make_zone(capacity=64 * 1024)
+        for i in range(800):
+            zone.put(b"key%05d" % i, b"v" * 60)
+        zone.resize(1024)  # far below metadata floor: must not spin
+        zone.check_invariants()
+
+    def test_resize_up_then_refill(self):
+        zone = make_zone(capacity=8 * 1024)
+        for i in range(300):
+            zone.put(b"k%05d" % i, b"v" * 50)
+        zone.resize(32 * 1024)
+        for i in range(300, 600):
+            zone.put(b"k%05d" % i, b"v" * 50)
+        zone.check_invariants()
+        assert zone.used_bytes <= 32 * 1024
+
+
+class TestPendingRemovals:
+    def test_merged_with_put(self):
+        zone = make_zone()
+        zone.put(b"key", b"old")
+        zone.schedule_removal(b"key", hash_key(b"key"), not_before=100.0)
+        zone.put(b"key", b"new")
+        assert zone.stats.pending_removals_merged == 1
+        assert zone.get(b"key")[0] == b"new"
+
+    def test_executed_at_sweep_after_expiry(self):
+        clock = VirtualClock()
+        zone = make_zone(capacity=8 * 1024, clock=clock)
+        zone.put(b"stale", b"old")
+        zone.schedule_removal(b"stale", hash_key(b"stale"), not_before=5.0)
+        clock.advance(10.0)
+        for i in range(400):  # force sweeps
+            zone.put(b"fill%04d" % i, b"v" * 40)
+        assert zone.stats.pending_removals_executed == 1
+        assert zone.get(b"stale") is None
+
+    def test_not_executed_before_expiry(self):
+        clock = VirtualClock()
+        zone = make_zone(capacity=512 * 1024, clock=clock)
+        zone.put(b"stale", b"old")
+        zone.schedule_removal(b"stale", hash_key(b"stale"), not_before=1e9)
+        assert zone.get(b"stale") is not None
+
+    def test_schedule_for_absent_key_noop(self):
+        zone = make_zone()
+        zone.schedule_removal(b"ghost", hash_key(b"ghost"), not_before=0.0)
+        assert not zone._pending_removals
+
+
+class TestLargeItems:
+    def test_roundtrip(self):
+        zone = make_zone(block_capacity=512)
+        big = bytes(range(256)) * 4  # 1 KB > block_capacity/2
+        zone.put(b"big", big)
+        assert zone.get(b"big")[0] == big
+        zone.check_invariants()
+
+    def test_large_then_small_replacement(self):
+        zone = make_zone(block_capacity=512)
+        zone.put(b"key", b"x" * 600)
+        zone.put(b"key", b"small")
+        assert zone.get(b"key")[0] == b"small"
+        assert zone.item_count == 1
+        zone.check_invariants()
+
+    def test_small_then_large_replacement(self):
+        zone = make_zone(block_capacity=512)
+        zone.put(b"key", b"small")
+        zone.put(b"key", b"x" * 600)
+        assert zone.get(b"key")[0] == b"x" * 600
+        assert zone.item_count == 1
+        zone.check_invariants()
+
+    def test_delete_large(self):
+        zone = make_zone(block_capacity=512)
+        zone.put(b"key", b"x" * 600)
+        assert zone.delete(b"key")
+        assert zone.item_count == 0
+        zone.check_invariants()
+
+
+class TestMemoryUsage:
+    def test_breakdown_sums_to_used(self):
+        zone = make_zone()
+        for i in range(200):
+            zone.put(b"key%04d" % i, b"v" * 40)
+        usage = zone.memory_usage()
+        assert (
+            usage["compressed_items"] + usage["block_metadata"] + usage["trie_index"]
+            == usage["total"]
+            == zone.used_bytes
+        )
+
+    def test_compression_saves_space(self):
+        zone = make_zone()
+        for i in range(300):
+            zone.put(b"key%04d" % i, b"same-content " * 4)
+        usage = zone.memory_usage()
+        assert usage["compressed_items"] < usage["uncompressed_items"]
+
+
+class TestPropertyVsModel:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "delete"]),
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=1, max_value=80),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dict_model_without_eviction(self, ops):
+        """With ample capacity, the zone must behave exactly like a dict."""
+        zone = ZZone(
+            1 << 20,
+            compressor=NullCompressor(),
+            block_capacity=256,
+            clock=VirtualClock(),
+        )
+        model = {}
+        for op, key_id, size in ops:
+            key = b"key%03d" % key_id
+            if op == "put":
+                value = bytes([key_id]) * size
+                zone.put(key, value)
+                model[key] = value
+            elif op == "get":
+                result = zone.get(key)
+                expected = model.get(key)
+                if expected is None:
+                    assert result is None
+                else:
+                    assert result is not None and result[0] == expected
+            else:
+                assert zone.delete(key) == (key in model)
+                model.pop(key, None)
+        zone.check_invariants()
+        assert zone.item_count == len(model)
