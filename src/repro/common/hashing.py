@@ -16,6 +16,7 @@ mixing, where inputs are tiny.
 from __future__ import annotations
 
 import hashlib
+from typing import Dict
 
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -74,6 +75,15 @@ def murmur3_32(data: bytes, seed: int = 0) -> int:
     return h
 
 
+#: Memo of key -> placement hash.  A replay hashes the same bounded key
+#: population over and over (every SET re-hashes, every demotion re-hashes
+#: the evicted key); memoising is safe because the hash is a pure function
+#: of the key bytes.  The cache is cleared wholesale when it fills so a
+#: pathological key churn cannot grow it without bound.
+_HASH_CACHE: Dict[bytes, int] = {}
+_HASH_CACHE_LIMIT = 1 << 17
+
+
 def hash_key(key: bytes) -> int:
     """Return the 64-bit placement hash of ``key``.
 
@@ -81,7 +91,15 @@ def hash_key(key: bytes) -> int:
     (most-significant first), mirroring the paper's use of a hashed-key
     binary prefix.
     """
-    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+    cached = _HASH_CACHE.get(key)
+    if cached is None:
+        cached = int.from_bytes(
+            hashlib.blake2b(key, digest_size=8).digest(), "big"
+        )
+        if len(_HASH_CACHE) >= _HASH_CACHE_LIMIT:
+            _HASH_CACHE.clear()
+        _HASH_CACHE[key] = cached
+    return cached
 
 
 def hash_key_murmur(key: bytes) -> int:

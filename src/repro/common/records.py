@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 
@@ -15,13 +15,16 @@ class Operation(enum.Enum):
     DELETE = "DELETE"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One client request in a trace.
 
     ``value`` is only populated for SET requests whose bench materialises
     real bytes; miss-ratio simulations that only need sizes carry
     ``value_size`` and leave ``value`` as ``None`` to keep traces small.
+    Slotted so traces that do materialise requests stay compact; callers
+    that already know the value's size pass ``value_size`` and skip the
+    ``__post_init__`` recomputation entirely.
     """
 
     op: Operation
@@ -39,13 +42,17 @@ class Request:
         return len(self.key) + self.value_size
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class KVItem:
-    """A key-value item as stored in a cache zone."""
+    """A key-value item as stored in a cache zone.
+
+    Slotted: block rebuilds materialise every resident item, so the
+    per-instance ``__dict__`` was the Z-zone's dominant allocation.
+    """
 
     key: bytes
     value: bytes
-    hashed_key: int = field(default=-1)
+    hashed_key: int = -1
 
     @property
     def size(self) -> int:

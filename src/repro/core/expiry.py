@@ -32,6 +32,16 @@ class ExpiryIndex:
     def __len__(self) -> int:
         return len(self._deadline)
 
+    def __bool__(self) -> bool:
+        """True while any bookkeeping (deadlines or heap entries) exists.
+
+        The cache's hot path uses this to skip expiry work entirely when
+        no TTL has ever been set; the heap is included so stale entries
+        keep being drained (and keep being charged) after the last live
+        deadline is cleared.
+        """
+        return bool(self._deadline) or bool(self._heap)
+
     def set(self, key: bytes, deadline: Optional[float]) -> None:
         """Track ``key`` until ``deadline``; None clears any TTL."""
         if deadline is None:

@@ -6,12 +6,27 @@ real value bytes and advancing the virtual clock at a configured request
 rate.  GET misses are demand-filled (the client fetches from the backing
 store and SETs the result), matching how the paper's replayer keeps the
 cache populated.
+
+Two equivalent drivers live here:
+
+* :func:`_replay_reference` — the straightforward per-entry loop, kept as
+  the semantic reference and used whenever a caller needs the
+  ``on_request`` instrumentation hook.
+* :func:`_replay_batched` — the default hot path.  It pulls the trace out
+  as numpy arrays once, pre-renders every distinct key's wire bytes, and
+  splits the warmup and measurement phases into separate loops with local
+  counters, so the per-request work is exactly the cache calls themselves.
+
+Both produce identical :class:`ReplayStats` and drive the cache with an
+identical request sequence; ``tests/core/test_replay_paths.py`` pins that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+import numpy as np
 
 from repro.common.clock import VirtualClock
 from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
@@ -49,16 +64,52 @@ def replay_trace(
     warmup_fraction: float = 0.2,
     demand_fill: bool = True,
     on_request: Optional[Callable[[int, int], None]] = None,
+    batched: bool = True,
 ) -> ReplayStats:
     """Replay ``trace`` against ``cache`` with real bytes.
 
     ``request_rate`` (requests/second) sets how far the virtual clock
     advances per request, which scales every time-based policy (marker
     ages, adaptation windows).  ``on_request(position, op)`` is called
-    after each request for timeline instrumentation.
+    after each request for timeline instrumentation; supplying it routes
+    the replay through the per-entry reference loop, as does
+    ``batched=False``.
     """
     if request_rate <= 0:
         raise ValueError(f"request_rate must be positive, got {request_rate}")
+    if not batched or on_request is not None:
+        return _replay_reference(
+            cache,
+            trace,
+            value_source,
+            clock,
+            request_rate,
+            warmup_fraction,
+            demand_fill,
+            on_request,
+        )
+    return _replay_batched(
+        cache,
+        trace,
+        value_source,
+        clock,
+        request_rate,
+        warmup_fraction,
+        demand_fill,
+    )
+
+
+def _replay_reference(
+    cache,
+    trace: Trace,
+    value_source: ValueSource,
+    clock: Optional[VirtualClock],
+    request_rate: float,
+    warmup_fraction: float,
+    demand_fill: bool,
+    on_request: Optional[Callable[[int, int], None]],
+) -> ReplayStats:
+    """Per-entry loop: one branch tree per request, stats updated inline."""
     warmup = int(len(trace) * warmup_fraction)
     tick = 1.0 / request_rate
     stats = ReplayStats()
@@ -88,3 +139,74 @@ def replay_trace(
         if on_request is not None:
             on_request(position, op)
     return stats
+
+
+def _replay_batched(
+    cache,
+    trace: Trace,
+    value_source: ValueSource,
+    clock: Optional[VirtualClock],
+    request_rate: float,
+    warmup_fraction: float,
+    demand_fill: bool,
+) -> ReplayStats:
+    """Array-driven loop: same request sequence, minimal per-request work.
+
+    The trace's op/key columns are materialised once as plain Python ints
+    (``tolist`` on the numpy views), wire keys are pre-rendered per
+    distinct key id, and the warmup prefix runs in a counter-free loop.
+    """
+    warmup = int(len(trace) * warmup_fraction)
+    tick = 1.0 / request_rate
+    ops_arr, keys_arr, _sizes = trace.as_arrays()
+    op_list = ops_arr.tolist()
+    key_list = keys_arr.tolist()
+    prefix = trace.key_prefix
+    key_bytes = {
+        key_id: prefix + b"%012d" % key_id
+        for key_id in np.unique(keys_arr).tolist()
+    }
+    advance = clock.advance if clock is not None else None
+    cache_get = cache.get
+    cache_set = cache.set
+    cache_delete = cache.delete
+    fill_value = value_source.value
+
+    # Warmup prefix: drive the cache, count nothing.
+    for op, key_id in zip(op_list[:warmup], key_list[:warmup]):
+        if advance is not None:
+            advance(tick)
+        key = key_bytes[key_id]
+        if op == OP_GET:
+            if cache_get(key) is None and demand_fill:
+                cache_set(key, fill_value(key_id))
+        elif op == OP_SET:
+            cache_set(key, fill_value(key_id))
+        elif op == OP_DELETE:
+            cache_delete(key)
+
+    gets = get_misses = sets = deletes = demand_fills = 0
+    for op, key_id in zip(op_list[warmup:], key_list[warmup:]):
+        if advance is not None:
+            advance(tick)
+        key = key_bytes[key_id]
+        if op == OP_GET:
+            gets += 1
+            if cache_get(key) is None:
+                get_misses += 1
+                if demand_fill:
+                    cache_set(key, fill_value(key_id))
+                    demand_fills += 1
+        elif op == OP_SET:
+            cache_set(key, fill_value(key_id))
+            sets += 1
+        elif op == OP_DELETE:
+            cache_delete(key)
+            deletes += 1
+    return ReplayStats(
+        gets=gets,
+        get_misses=get_misses,
+        sets=sets,
+        deletes=deletes,
+        demand_fills=demand_fills,
+    )

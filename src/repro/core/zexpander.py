@@ -70,6 +70,7 @@ class ZExpander:
                 min_zone_fraction=config.min_zone_fraction,
             )
         self._last_marker_time: Optional[float] = None
+        self._marker_interval = config.marker_interval_seconds
         self._expiry = ExpiryIndex()
 
     # -- public API ----------------------------------------------------------
@@ -82,7 +83,7 @@ class ZExpander:
         """
         self._housekeeping()
         self.stats.gets += 1
-        if self._expiry.is_expired(key, self.clock.now()):
+        if self._expiry and self._expiry.is_expired(key, self.clock.now()):
             self._expire(key)
             self.stats.get_misses += 1
             return None
@@ -119,7 +120,7 @@ class ZExpander:
             if ttl <= 0:
                 raise ValueError(f"ttl must be positive, got {ttl}")
             self._expiry.set(key, self.clock.now() + ttl)
-        else:
+        elif self._expiry:
             self._expiry.clear(key)
         hashed = hash_key(key)
         # Postpone removal of a stale Z-zone version (§3.3.2): if the item
@@ -134,7 +135,8 @@ class ZExpander:
         """Remove ``key`` from both zones (§3)."""
         self._housekeeping()
         self.stats.deletes += 1
-        self._expiry.clear(key)
+        if self._expiry:
+            self._expiry.clear(key)
         in_n = self.nzone.delete(key)
         hashed = hash_key(key)
         was_expensive = self.zzone.maybe_contains(key, hashed)
@@ -145,7 +147,7 @@ class ZExpander:
 
     def __contains__(self, key: bytes) -> bool:
         """Residency test without recency side effects (filters only for Z)."""
-        if self._expiry.is_expired(key, self.clock.now()):
+        if self._expiry and self._expiry.is_expired(key, self.clock.now()):
             return False
         return key in self.nzone or self.zzone.maybe_contains(key)
 
@@ -233,25 +235,45 @@ class ZExpander:
         self.stats.expirations += 1
 
     def _housekeeping(self) -> None:
+        """Per-request upkeep, structured as cheap inline guards.
+
+        This runs before every GET/SET/DELETE, so each subsystem is
+        gated by the least work that can prove it idle: expiry by the
+        index's emptiness, markers by a float comparison, adaptation by
+        the allocator's presence.  The slow branches live in their own
+        methods.
+        """
         now = self.clock.now()
+        if self._expiry:
+            self._purge_due(now)
+        last = self._last_marker_time
+        if last is None:
+            # Open the first interval without issuing: a marker written
+            # into a still-cold N-zone would measure fill time, not
+            # locality strength.
+            self._last_marker_time = now
+        elif now - last >= self._marker_interval:
+            self._issue_marker(now)
+        if self.allocator is not None:
+            self._maybe_adapt(now)
+
+    def _purge_due(self, now: float) -> None:
         for key in list(self._expiry.pop_due(now)):
             self.nzone.delete(key)
             hashed = hash_key(key)
             if self.zzone.maybe_contains(key, hashed):
                 self.zzone.delete(key, hashed)
             self.stats.expirations += 1
-        self._maybe_issue_marker(now)
-        self._maybe_adapt(now)
 
     def _maybe_issue_marker(self, now: float) -> None:
         if self._last_marker_time is None:
-            # Open the first interval without issuing: a marker written
-            # into a still-cold N-zone would measure fill time, not
-            # locality strength.
             self._last_marker_time = now
             return
-        if now - self._last_marker_time < self.config.marker_interval_seconds:
+        if now - self._last_marker_time < self._marker_interval:
             return
+        self._issue_marker(now)
+
+    def _issue_marker(self, now: float) -> None:
         self._last_marker_time = now
         marker_key = self.benchmark.mint(now)
         self.stats.marker_sets += 1

@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=BENCH_SCALE.num_requests
     )
     run_parser.add_argument("--seed", type=int, default=BENCH_SCALE.seed)
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent experiments/replays "
+        "(1 = serial in-process; results are identical at any value)",
+    )
     return parser
 
 
@@ -101,6 +108,11 @@ def main(argv=None) -> int:
         print("use 'list' to see what is available", file=sys.stderr)
         return 2
     scale = Scale(num_keys=args.keys, num_requests=args.requests, seed=args.seed)
+    if getattr(args, "jobs", 1) > 1:
+        from repro.experiments.parallel import run_experiments
+
+        run_experiments(names, scale, args.jobs)
+        return 0
     for name in names:
         run_experiment(name, scale)
     return 0

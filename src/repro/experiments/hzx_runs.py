@@ -9,6 +9,7 @@ duration.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -61,64 +62,100 @@ def run_mixes(
     capacity_multiple: float = DEFAULT_CAPACITY_MULTIPLE,
     nzone_fraction: float = 0.3,
     target_fraction: float = DEFAULT_TARGET_FRACTION,
+    jobs: int = 1,
 ) -> List[HzxCell]:
+    """Replay the mix grid (memoised).
+
+    ``jobs > 1`` fans the independent (mix, system) cells across worker
+    processes; cells are seeded from (scale, mix) alone, so the cell list
+    is identical at any job count and the memo key excludes ``jobs``.
+    """
     cache_key = (scale, tuple(mixes), capacity_multiple, nzone_fraction, target_fraction)
     cached = _RUN_CACHE.get(cache_key)
     if cached is not None:
         return cached
-    capacity = int(base_size_of("YCSB", scale) * capacity_multiple)
-    duration = scale.num_requests / _REQUEST_RATE
-    window = duration / 24.0
-    cells: List[HzxCell] = []
-    for get_fraction, set_fraction in mixes:
-        label = mix_label(get_fraction, set_fraction)
-        trace = build_trace(
-            "YCSB", scale, get_fraction=get_fraction, set_fraction=set_fraction
+    specs = [
+        (
+            scale,
+            get_fraction,
+            set_fraction,
+            system,
+            capacity_multiple,
+            nzone_fraction,
+            target_fraction,
         )
-        values = build_value_source("YCSB", trace, seed=scale.seed)
+        for get_fraction, set_fraction in mixes
+        for system in ("H-Cache", "H-zExpander")
+    ]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            cells = list(pool.map(_mix_cell_task, specs))
+    else:
+        cells = [_mix_cell_task(spec) for spec in specs]
+    _RUN_CACHE[cache_key] = cells
+    return cells
 
+
+#: One mix cell:
+#: (scale, get_fraction, set_fraction, system, capacity_multiple,
+#:  nzone_fraction, target_fraction).
+MixCellSpec = Tuple[Scale, float, float, str, float, float, float]
+
+
+def _mix_cell_task(spec: MixCellSpec) -> HzxCell:
+    """Run one (mix, system) cell from its spec (picklable for workers)."""
+    (
+        scale,
+        get_fraction,
+        set_fraction,
+        system,
+        capacity_multiple,
+        nzone_fraction,
+        target_fraction,
+    ) = spec
+    capacity = int(base_size_of("YCSB", scale) * capacity_multiple)
+    window = (scale.num_requests / _REQUEST_RATE) / 24.0
+    label = mix_label(get_fraction, set_fraction)
+    trace = build_trace(
+        "YCSB", scale, get_fraction=get_fraction, set_fraction=set_fraction
+    )
+    values = build_value_source("YCSB", trace, seed=scale.seed)
+    if system == "H-Cache":
         clock = VirtualClock()
         hcache = SimpleKVCache(HPCacheZone(capacity, seed=scale.seed))
         replay = replay_trace(
             hcache, trace, values, clock=clock, request_rate=_REQUEST_RATE
         )
-        cells.append(
-            HzxCell(
-                mix_label=label,
-                get_fraction=get_fraction,
-                system="H-Cache",
-                capacity=capacity,
-                replay=replay,
-                mix=mix_from_stats(hcache.stats),
-            )
+        return HzxCell(
+            mix_label=label,
+            get_fraction=get_fraction,
+            system="H-Cache",
+            capacity=capacity,
+            replay=replay,
+            mix=mix_from_stats(hcache.stats),
         )
-
-        clock = VirtualClock()
-        config = ZExpanderConfig(
-            total_capacity=capacity,
-            nzone_fraction=nzone_fraction,
-            adaptive=True,
-            target_service_fraction=target_fraction,
-            window_seconds=window,
-            marker_interval_seconds=window / 4.0,
-            seed=scale.seed,
-        )
-        hzx = ZExpander(config, clock=clock)
-        replay = replay_trace(
-            hzx, trace, values, clock=clock, request_rate=_REQUEST_RATE
-        )
-        cells.append(
-            HzxCell(
-                mix_label=label,
-                get_fraction=get_fraction,
-                system="H-zExpander",
-                capacity=capacity,
-                replay=replay,
-                mix=mix_from_cache(hzx),
-            )
-        )
-    _RUN_CACHE[cache_key] = cells
-    return cells
+    clock = VirtualClock()
+    config = ZExpanderConfig(
+        total_capacity=capacity,
+        nzone_fraction=nzone_fraction,
+        adaptive=True,
+        target_service_fraction=target_fraction,
+        window_seconds=window,
+        marker_interval_seconds=window / 4.0,
+        seed=scale.seed,
+    )
+    hzx = ZExpander(config, clock=clock)
+    replay = replay_trace(
+        hzx, trace, values, clock=clock, request_rate=_REQUEST_RATE
+    )
+    return HzxCell(
+        mix_label=label,
+        get_fraction=get_fraction,
+        system="H-zExpander",
+        capacity=capacity,
+        replay=replay,
+        mix=mix_from_cache(hzx),
+    )
 
 
 def cells_for(cells: List[HzxCell], label: str, system: str) -> List[HzxCell]:

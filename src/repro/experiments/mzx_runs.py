@@ -14,8 +14,9 @@ cannot resize online, so the authors configure sizes manually).
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import VirtualClock
 from repro.common.units import KB
@@ -73,34 +74,63 @@ def run_grid(
     multiples: Sequence[float] = DEFAULT_MULTIPLES,
     workloads: Sequence[str] = WORKLOAD_NAMES,
     nzone_fraction: Optional[float] = None,
+    jobs: int = 1,
 ) -> List[MzxCell]:
     """Replay the full grid (memoised).
 
     ``nzone_fraction`` overrides the default hot-set-sized static split.
+    ``jobs > 1`` fans the independent (workload x size x system) cells
+    across worker processes; every cell is seeded from (scale, trace)
+    alone, so the cell list is identical at any job count and the memo
+    key deliberately excludes ``jobs``.
     """
     cache_key = (scale, tuple(multiples), tuple(workloads), nzone_fraction)
     cached = _GRID_CACHE.get(cache_key)
     if cached is not None:
         return cached
-    cells: List[MzxCell] = []
-    low, high = NZONE_FRACTION_BOUNDS
-    for name in workloads:
-        trace = build_trace(name, scale)
-        base = base_size_of(name, scale)
-        values = build_value_source(name, trace, seed=scale.seed)
-        for multiple in multiples:
-            capacity = int(base * multiple)
-            fraction = nzone_fraction
-            if fraction is None:
-                fraction = max(low, min(high, base / capacity))
-            cells.append(
-                _run_memcached(name, trace, values, capacity, multiple)
-            )
-            cells.append(
-                _run_mzx(name, trace, values, capacity, multiple, fraction)
-            )
+    if jobs > 1:
+        specs = [
+            (name, scale, multiple, system, nzone_fraction)
+            for name in workloads
+            for multiple in multiples
+            for system in ("memcached", "M-zExpander")
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            cells = list(pool.map(_grid_cell_task, specs))
+    else:
+        cells = [
+            _grid_cell_task((name, scale, multiple, system, nzone_fraction))
+            for name in workloads
+            for multiple in multiples
+            for system in ("memcached", "M-zExpander")
+        ]
     _GRID_CACHE[cache_key] = cells
     return cells
+
+
+#: One grid cell: (workload, scale, multiple, system, nzone_fraction).
+GridCellSpec = Tuple[str, Scale, float, str, Optional[float]]
+
+
+def _grid_cell_task(spec: GridCellSpec) -> MzxCell:
+    """Run one grid cell from its spec (picklable for worker processes).
+
+    Traces and value sources are rebuilt here — memoised per process by
+    ``repro.experiments.common`` — so workers never need unpicklable
+    state from the parent.
+    """
+    name, scale, multiple, system, nzone_fraction = spec
+    trace = build_trace(name, scale)
+    base = base_size_of(name, scale)
+    values = build_value_source(name, trace, seed=scale.seed)
+    capacity = int(base * multiple)
+    if system == "memcached":
+        return _run_memcached(name, trace, values, capacity, multiple)
+    fraction = nzone_fraction
+    if fraction is None:
+        low, high = NZONE_FRACTION_BOUNDS
+        fraction = max(low, min(high, base / capacity))
+    return _run_mzx(name, trace, values, capacity, multiple, fraction)
 
 
 def _run_memcached(name, trace, values, capacity, multiple) -> MzxCell:

@@ -19,6 +19,10 @@ SLOTS_PER_BUCKET = 4
 #: Modelled bytes per slot: a 1-byte tag plus a pointer, padded.
 SLOT_BYTES = 8
 
+#: The alternate-bucket step depends only on the 1-byte tag, so all 256
+#: FNV values are precomputed instead of hashing on every lookup.
+_TAG_STEP = tuple(fnv1a_64(bytes([tag])) for tag in range(256))
+
 # Entry layout inside a slot: (key, tag, payload).
 _Slot = Tuple[bytes, int, Any]
 
@@ -56,13 +60,14 @@ class CuckooTable:
     def _alt_bucket(self, bucket: int, tag: int) -> int:
         # Partial-key cuckoo hashing: the alternate is computable from the
         # bucket and the tag alone, in either direction.
-        return (bucket ^ (fnv1a_64(bytes([tag])) & self._mask)) & self._mask
+        return (bucket ^ (_TAG_STEP[tag] & self._mask)) & self._mask
 
     def _candidates(self, key: bytes) -> Tuple[int, int, int]:
         hashed = hash_key(key)
-        tag = self._tag(hashed)
-        b1 = self._bucket1(hashed)
-        return b1, self._alt_bucket(b1, tag), tag
+        tag = (hashed >> 56) & 0xFF or 1
+        mask = self._mask
+        b1 = hashed & mask
+        return b1, (b1 ^ (_TAG_STEP[tag] & mask)) & mask, tag
 
     # -- operations ---------------------------------------------------------------
 

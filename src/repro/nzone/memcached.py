@@ -177,10 +177,13 @@ class MemcachedZone(NZone):
         self._capacity = capacity
         # Per-class LRU queues: class_id -> OrderedDict[key, value].
         self._lru: Dict[int, "OrderedDict[bytes, bytes]"] = {}
-        # Global index: key -> class_id (models the chained hash table).
-        self._index: Dict[bytes, int] = {}
+        # Global index: key -> (class_id, class queue).  Caching the queue
+        # reference alongside the class id saves the second hash lookup
+        # (index -> class -> queue) on every GET, the dominant operation.
+        self._index: Dict[bytes, tuple] = {}
         self._payload_bytes = 0
         self._hash_buckets = 1024
+        self._grow_at = self._hash_buckets * 3 // 2
 
     # -- helpers ----------------------------------------------------------------
 
@@ -190,8 +193,9 @@ class MemcachedZone(NZone):
         return ITEM_HEADER_BYTES + ITEM_SUFFIX_BYTES + len(key) + 1 + len(value)
 
     def _maybe_grow_hashtable(self) -> None:
-        while len(self._index) > self._hash_buckets * 3 // 2:
+        while len(self._index) > self._grow_at:
             self._hash_buckets *= 2
+            self._grow_at = self._hash_buckets * 3 // 2
 
     def _class_queue(self, class_id: int) -> "OrderedDict[bytes, bytes]":
         queue = self._lru.get(class_id)
@@ -216,10 +220,10 @@ class MemcachedZone(NZone):
         return len(self._index)
 
     def get(self, key: bytes) -> Optional[bytes]:
-        class_id = self._index.get(key)
-        if class_id is None:
+        entry = self._index.get(key)
+        if entry is None:
             return None
-        queue = self._lru[class_id]
+        queue = entry[1]
         queue.move_to_end(key)
         return queue[key]
 
@@ -230,9 +234,9 @@ class MemcachedZone(NZone):
             # Larger than the biggest chunk: memcached refuses the store.
             return [EvictedItem(key=key, value=value)]
         evicted: List[EvictedItem] = []
-        old_class = self._index.get(key)
-        if old_class is not None:
-            self._remove(key, old_class)
+        old_entry = self._index.get(key)
+        if old_entry is not None:
+            self._remove(key, old_entry)
         while not self._slabs.allocate(class_id):
             victim = self._evict_one(class_id)
             if victim is None:
@@ -241,9 +245,10 @@ class MemcachedZone(NZone):
             evicted.append(victim)
         queue = self._class_queue(class_id)
         queue[key] = value
-        self._index[key] = class_id
+        self._index[key] = (class_id, queue)
         self._payload_bytes += len(key) + len(value)
-        self._maybe_grow_hashtable()
+        if len(self._index) > self._grow_at:
+            self._maybe_grow_hashtable()
         return evicted
 
     def _evict_one(self, class_id: int) -> Optional[EvictedItem]:
@@ -256,8 +261,8 @@ class MemcachedZone(NZone):
         self._slabs.free(class_id)
         return EvictedItem(key=victim_key, value=victim_value)
 
-    def _remove(self, key: bytes, class_id: int) -> bytes:
-        queue = self._lru[class_id]
+    def _remove(self, key: bytes, entry: tuple) -> bytes:
+        class_id, queue = entry
         value = queue.pop(key)
         del self._index[key]
         self._payload_bytes -= len(key) + len(value)
@@ -265,10 +270,10 @@ class MemcachedZone(NZone):
         return value
 
     def delete(self, key: bytes) -> bool:
-        class_id = self._index.get(key)
-        if class_id is None:
+        entry = self._index.get(key)
+        if entry is None:
             return False
-        self._remove(key, class_id)
+        self._remove(key, entry)
         return True
 
     def __contains__(self, key: bytes) -> bool:

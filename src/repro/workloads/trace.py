@@ -13,6 +13,8 @@ from array import array
 from collections import Counter
 from typing import Dict, Iterator, Optional, Tuple
 
+import numpy as np
+
 from repro.common.records import Operation, Request
 from repro.workloads.values import ValueSource
 
@@ -64,6 +66,18 @@ class Trace:
     def key_bytes(self, key_id: int) -> bytes:
         """Render ``key_id`` as the wire key used by the data plane."""
         return self.key_prefix + b"%012d" % key_id
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy numpy views over (ops, key_ids, sizes).
+
+        The replay hot loop iterates these instead of per-entry tuples;
+        ``np.frombuffer`` shares the underlying ``array`` buffers, so the
+        views cost nothing and stay in sync with the (immutable) trace.
+        """
+        ops = np.frombuffer(self._ops, dtype=np.int8)
+        keys = np.frombuffer(self._keys, dtype=np.int64)
+        sizes = np.frombuffer(self._sizes, dtype=np.dtype(f"i{self._sizes.itemsize}"))
+        return ops, keys, sizes
 
     def split(self, fraction: float) -> Tuple["Trace", "Trace"]:
         """Split into (head, tail) at ``fraction`` of the length.

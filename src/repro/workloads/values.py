@@ -158,8 +158,11 @@ def _encode_string(field_number: int, text: str) -> bytes:
     return _encode_tag(field_number, 2) + _encode_varint(len(data)) + data
 
 
+_DOUBLE = struct.Struct("<d")
+
+
 def _encode_double(field_number: int, value: float) -> bytes:
-    return _encode_tag(field_number, 1) + struct.pack("<d", value)
+    return _encode_tag(field_number, 1) + _DOUBLE.pack(value)
 
 
 class PlacesValueGenerator(ValueGenerator):

@@ -27,8 +27,11 @@ import numpy as np
 from repro.common.rng import derive_seed
 
 #: Cache of zeta(n, theta): computing it is O(n) and benches reuse the
-#: same (n, theta) across many trace builds.
+#: same (n, theta) across many trace builds.  Bounded FIFO so a long
+#: parameter sweep (calibration walks hundreds of thetas) cannot grow it
+#: without limit; 256 entries comfortably cover any one experiment grid.
 _ZETA_CACHE: Dict[Tuple[int, float], float] = {}
+_ZETA_CACHE_LIMIT = 256
 
 #: Above this skew the popularity mass concentrates so hard that the
 #: cumulative table underflows float64 resolution for big key spaces.
@@ -43,6 +46,10 @@ def zeta(n: int, theta: float) -> float:
     cached = _ZETA_CACHE.get(key)
     if cached is None:
         cached = float(np.sum(1.0 / np.arange(1, n + 1, dtype=np.float64) ** theta))
+        if len(_ZETA_CACHE) >= _ZETA_CACHE_LIMIT:
+            # Drop the oldest entry (insertion order): sweeps move through
+            # parameters monotonically, so FIFO evicts what won't recur.
+            del _ZETA_CACHE[next(iter(_ZETA_CACHE))]
         _ZETA_CACHE[key] = cached
     return cached
 

@@ -47,6 +47,16 @@ class BlockFullError(CacheError):
     """Inserting would push the container past the block capacity."""
 
 
+#: Per-item wire header: 8-byte big-endian hashed key, 2-byte key length,
+#: 4-byte value length.  One module-level Struct serves both directions;
+#: rebuilding it per call used to cost a dict lookup and a parse on every
+#: block reconstruction.
+_HEADER = struct.Struct(">QHI")
+_HEADER_SIZE = _HEADER.size  # 14
+_pack_header = _HEADER.pack
+_unpack_header = _HEADER.unpack_from
+
+
 def encode_items(items: Iterable[KVItem]) -> bytes:
     """Serialise items (already sorted by hashed key) into a container.
 
@@ -55,34 +65,41 @@ def encode_items(items: Iterable[KVItem]) -> bytes:
     make lexicographic order equal numeric order, which the sorted layout
     relies on.
     """
-    pack_header = struct.Struct(">QHI").pack
     chunks: List[bytes] = []
+    append = chunks.append
     for item in items:
         if item.hashed_key < 0:
             raise ValueError(f"item {item.key!r} is missing its hashed key")
-        chunks.append(pack_header(item.hashed_key, len(item.key), len(item.value)))
-        chunks.append(item.key)
-        chunks.append(item.value)
+        append(_pack_header(item.hashed_key, len(item.key), len(item.value)))
+        append(item.key)
+        append(item.value)
     return b"".join(chunks)
 
 
 def decode_items(container: bytes) -> List[KVItem]:
     """Decode every item of a serialised container."""
     items: List[KVItem] = []
+    append = items.append
     pos = 0
     end = len(container)
     while pos < end:
-        item, pos = _decode_one(container, pos)
-        items.append(item)
+        hashed, klen, vlen = _unpack_header(container, pos)
+        key_start = pos + _HEADER_SIZE
+        value_start = key_start + klen
+        pos = value_start + vlen
+        append(
+            KVItem(
+                key=container[key_start:value_start],
+                value=container[value_start:pos],
+                hashed_key=hashed,
+            )
+        )
     return items
 
 
-_HEADER = struct.Struct(">QHI")
-
-
 def _decode_one(container: bytes, pos: int) -> Tuple[KVItem, int]:
-    hashed, klen, vlen = _HEADER.unpack_from(container, pos)
-    key_start = pos + 14
+    hashed, klen, vlen = _unpack_header(container, pos)
+    key_start = pos + _HEADER_SIZE
     key = container[key_start : key_start + klen]
     value = container[key_start + klen : key_start + klen + vlen]
     return KVItem(key=key, value=value, hashed_key=hashed), key_start + klen + vlen
@@ -103,6 +120,7 @@ class Block:
         "large_refs",
         "_index_hashes",
         "_index_offsets",
+        "_base_bytes",
         "next_block",
         "prev_block",
     )
@@ -131,6 +149,9 @@ class Block:
         self.large_refs: Dict[bytes, LargeItem] = large_refs or {}
         self._index_hashes = index_hashes
         self._index_offsets = index_offsets
+        # Container + fixed metadata never change after construction
+        # (blocks are immutable); only large_refs can still vary.
+        self._base_bytes = compressed.stored_size + BLOCK_METADATA_BYTES
         # Circular sweep-list links, managed by the zone.
         self.next_block: Optional[Block] = None
         self.prev_block: Optional[Block] = None
@@ -146,23 +167,37 @@ class Block:
         prefix: int = 0,
         large_refs: Optional[Dict[bytes, "LargeItem"]] = None,
     ) -> "Block":
-        """Build a block from ``items`` (any order; sorted here)."""
+        """Build a block from ``items`` (any order; sorted here).
+
+        Serialisation, the Content Filter, and the sparse index are all
+        produced in one pass over the sorted items; a rebuild used to
+        traverse them three times.
+        """
         ordered = sorted(items, key=lambda it: (it.hashed_key, it.key))
-        container = encode_items(ordered)
-        compressed = compressor.compress(container)
+        chunks: List[bytes] = []
+        append_chunk = chunks.append
         content = Bloom128()
-        for item in ordered:
-            content.add(item.hashed_key)
+        content_add = content.add
         index_hashes: List[int] = []
         index_offsets: List[int] = []
-        if ordered:
-            step = max(1, len(ordered) // _INDEX_FANOUT)
-            offset = 0
-            for position, item in enumerate(ordered):
-                if position % step == 0 and len(index_hashes) < _INDEX_FANOUT:
-                    index_hashes.append(item.hashed_key)
-                    index_offsets.append(offset)
-                offset += 14 + len(item.key) + len(item.value)
+        step = max(1, len(ordered) // _INDEX_FANOUT)
+        offset = 0
+        for position, item in enumerate(ordered):
+            hashed = item.hashed_key
+            if hashed < 0:
+                raise ValueError(f"item {item.key!r} is missing its hashed key")
+            key = item.key
+            value = item.value
+            if position % step == 0 and len(index_hashes) < _INDEX_FANOUT:
+                index_hashes.append(hashed)
+                index_offsets.append(offset)
+            append_chunk(_pack_header(hashed, len(key), len(value)))
+            append_chunk(key)
+            append_chunk(value)
+            content_add(hashed)
+            offset += _HEADER_SIZE + len(key) + len(value)
+        container = b"".join(chunks)
+        compressed = compressor.compress(container)
         block = cls(
             depth=depth,
             prefix=prefix,
@@ -201,21 +236,21 @@ class Block:
         return self._scan(container, key, hashed_key)
 
     def _scan(self, container: bytes, key: bytes, hashed_key: int) -> Optional[bytes]:
-        start = 0
+        pos = 0
         if self._index_hashes:
             slot = bisect.bisect_right(self._index_hashes, hashed_key) - 1
             if slot >= 0:
-                start = self._index_offsets[slot]
-        pos = start
+                pos = self._index_offsets[slot]
         end = len(container)
         while pos < end:
-            item_hash = int.from_bytes(container[pos : pos + 8], "big")
+            item_hash, klen, vlen = _unpack_header(container, pos)
             if item_hash > hashed_key:
                 return None  # sorted layout: passed the possible position
-            item, next_pos = _decode_one(container, pos)
-            if item_hash == hashed_key and item.key == key:
-                return item.value
-            pos = next_pos
+            key_start = pos + _HEADER_SIZE
+            value_start = key_start + klen
+            if item_hash == hashed_key and container[key_start:value_start] == key:
+                return container[value_start : value_start + vlen]
+            pos = value_start + vlen
         return None
 
     def items(self, compressor: Compressor) -> List[KVItem]:
@@ -256,8 +291,11 @@ class Block:
     @property
     def memory_bytes(self) -> int:
         """Container + fixed metadata + large-item references."""
-        large = sum(ref.memory_bytes for ref in self.large_refs.values())
-        return self.stored_bytes + BLOCK_METADATA_BYTES + large
+        if not self.large_refs:
+            return self._base_bytes
+        return self._base_bytes + sum(
+            ref.memory_bytes for ref in self.large_refs.values()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -11,9 +11,33 @@ the hot path.
 
 from __future__ import annotations
 
+from typing import Dict
+
 SIZE_BYTES = 16
 _BITS = SIZE_BYTES * 8
 _NUM_PROBES = 4
+
+#: Memo of hashed key -> OR-mask of its four probe bits.  Every block
+#: rebuild re-adds the same resident keys to a fresh Content Filter, so
+#: the probe positions for a key are recomputed constantly; the mask is a
+#: pure function of the hashed key and can be derived once.  Cleared
+#: wholesale when full so unbounded key churn cannot grow it.
+_MASK_CACHE: Dict[int, int] = {}
+_MASK_CACHE_LIMIT = 1 << 17
+
+
+def _probe_mask(hashed_key: int) -> int:
+    mask = _MASK_CACHE.get(hashed_key)
+    if mask is None:
+        h1 = hashed_key & 0xFFFFFFFF
+        h2 = (hashed_key >> 32) | 1  # odd step so probes cycle all bits
+        mask = 0
+        for i in range(_NUM_PROBES):
+            mask |= 1 << ((h1 + i * h2) % _BITS)
+        if len(_MASK_CACHE) >= _MASK_CACHE_LIMIT:
+            _MASK_CACHE.clear()
+        _MASK_CACHE[hashed_key] = mask
+    return mask
 
 
 class Bloom128:
@@ -26,21 +50,11 @@ class Bloom128:
 
     def add(self, hashed_key: int) -> None:
         """Record ``hashed_key`` in the filter."""
-        h1 = hashed_key & 0xFFFFFFFF
-        h2 = (hashed_key >> 32) | 1  # odd step so probes cycle all bits
-        bits = self._bits
-        for i in range(_NUM_PROBES):
-            bits |= 1 << ((h1 + i * h2) % _BITS)
-        self._bits = bits
+        self._bits |= _probe_mask(hashed_key)
 
     def __contains__(self, hashed_key: int) -> bool:
-        h1 = hashed_key & 0xFFFFFFFF
-        h2 = (hashed_key >> 32) | 1
-        bits = self._bits
-        for i in range(_NUM_PROBES):
-            if not (bits >> ((h1 + i * h2) % _BITS)) & 1:
-                return False
-        return True
+        mask = _probe_mask(hashed_key)
+        return self._bits & mask == mask
 
     def clear(self) -> None:
         """Reset the filter (the sweep clears Access Filters, §3.2)."""

@@ -34,10 +34,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional
 
-from repro.common.hashing import prefix_of
 from repro.zzone.block import Block
 
 SEGMENT_POINTERS = 128
+#: Shift/mask equivalents of ``divmod(position, SEGMENT_POINTERS)`` for
+#: the hot lookup path (SEGMENT_POINTERS is a power of two).
+_SEG_SHIFT = SEGMENT_POINTERS.bit_length() - 1
+_SEG_MASK = SEGMENT_POINTERS - 1
 #: The paper stores 4-byte pointers in segments and in the first level.
 POINTER_BYTES = 4
 #: Bytes charged per allocated segment's directory entry (index + pointer).
@@ -105,17 +108,27 @@ class BlockTrie:
         self._height = 0
 
     def find_leaf(self, hashed_key: int) -> Optional[Block]:
-        """Locate the leaf on ``hashed_key``'s path via bottom-up walk."""
+        """Locate the leaf on ``hashed_key``'s path via bottom-up walk.
+
+        The pointer reads are inlined (rather than calling
+        :meth:`_get_pointer`) because this runs on every Z-zone GET, SET,
+        and filter check.
+        """
         if self._block_count == 0:
             return None
         self.lookup_count += 1
-        position = self._position(self._height, prefix_of(hashed_key, self._height))
+        height = self._height
+        prefix = (hashed_key >> (64 - height)) if height else 0
+        position = (1 << height) - 1 + prefix
+        segments = self._segments
         probes = 1
-        block = self._get_pointer(position)
+        segment = segments.get(position >> _SEG_SHIFT)
+        block = segment[position & _SEG_MASK] if segment is not None else None
         while block is None and position > 0:
             position = (position - 1) >> 1
             probes += 1
-            block = self._get_pointer(position)
+            segment = segments.get(position >> _SEG_SHIFT)
+            block = segment[position & _SEG_MASK] if segment is not None else None
         self.probe_count += probes
         return block
 

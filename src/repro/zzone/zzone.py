@@ -256,7 +256,7 @@ class ZZone:
         stale_large = large_refs.pop(key, None)
         if stale_large is not None:
             self._item_count -= 1  # the compact copy replaces the large one
-        serialized = sum(14 + it.size for it in items)
+        serialized = sum(14 + len(it.key) + len(it.value) for it in items)
         if serialized <= self.block_capacity:
             self._rebuild(leaf, items, large_refs)
         else:
@@ -366,7 +366,7 @@ class ZZone:
             (left, left_items, left_large),
             (right, right_items, right_large),
         ):
-            if sum(14 + it.size for it in child_items) > self.block_capacity:
+            if sum(14 + len(it.key) + len(it.value) for it in child_items) > self.block_capacity:
                 self._split(child, child_items, child_large)
 
     # -- removal internals ---------------------------------------------------------

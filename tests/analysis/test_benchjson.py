@@ -1,0 +1,86 @@
+"""Tests for the wall-clock benchmark record schema."""
+
+import json
+
+import pytest
+
+from repro.analysis.benchjson import (
+    BenchRecord,
+    git_revision,
+    load_records,
+    percentile,
+    write_records,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_set(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+
+    def test_extremes(self):
+        samples = list(range(101))
+        assert percentile(samples, 0.0) == 0.0
+        assert percentile(samples, 100.0) == 100.0
+        assert percentile(samples, 99.0) == 99.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 99.0) == 7.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestRecords:
+    def test_round_trip(self, tmp_path):
+        records = [
+            BenchRecord(
+                bench="replay_etc_mzx",
+                config={"workload": "ETC", "num_keys": 3000},
+                ops_per_sec=29490.4,
+                p50_us=12.1,
+                p99_us=410.6,
+                wall_s=2.03,
+                git_rev="abc1234",
+            ),
+            BenchRecord(bench="cli_run_all", wall_s=120.5),
+        ]
+        path = tmp_path / "BENCH_wallclock.json"
+        write_records(records, path)
+        assert load_records(path) == records
+
+    def test_schema_keys_on_disk(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_records([BenchRecord(bench="b", wall_s=1.0)], path)
+        payload = json.loads(path.read_text())
+        assert set(payload[0]) == {
+            "bench",
+            "config",
+            "ops_per_sec",
+            "p50_us",
+            "p99_us",
+            "wall_s",
+            "git_rev",
+        }
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_records(path)
+
+
+class TestGitRevision:
+    def test_of_this_repo(self):
+        rev = git_revision()
+        assert rev == "unknown" or len(rev) >= 7
+
+    def test_fallback_outside_git(self, tmp_path):
+        assert git_revision(tmp_path) == "unknown"

@@ -1,0 +1,159 @@
+"""Equivalence and edge cases of the batched vs reference replay paths."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.core import SimpleKVCache, ZExpander, ZExpanderConfig, replay_trace
+from repro.experiments.common import Scale, build_trace
+from repro.nzone import PlainZone
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, TraceBuilder
+from repro.workloads.values import PlacesValueGenerator, ValueSource
+
+
+def trace_of(entries, num_keys=50):
+    builder = TraceBuilder("t", num_keys=num_keys)
+    for op, key, size in entries:
+        builder.add(op, key, size)
+    return builder.build()
+
+
+def mixed_trace():
+    entries = []
+    for index in range(300):
+        entries.append((OP_GET, index % 17, 0))
+        if index % 3 == 0:
+            entries.append((OP_SET, index % 11, 0))
+        if index % 29 == 0:
+            entries.append((OP_DELETE, index % 7, 0))
+    return trace_of(entries)
+
+
+@pytest.fixture
+def values():
+    return ValueSource(PlacesValueGenerator(seed=1))
+
+
+class TestPathEquivalence:
+    @pytest.mark.parametrize("warmup_fraction", [0.0, 0.2, 0.5, 1.0])
+    def test_identical_stats_simple_cache(self, values, warmup_fraction):
+        trace = mixed_trace()
+        batched = replay_trace(
+            SimpleKVCache(PlainZone(1 << 14)),
+            trace,
+            values,
+            warmup_fraction=warmup_fraction,
+        )
+        reference = replay_trace(
+            SimpleKVCache(PlainZone(1 << 14)),
+            trace,
+            values,
+            warmup_fraction=warmup_fraction,
+            batched=False,
+        )
+        assert batched == reference
+
+    def test_identical_stats_zexpander(self, values):
+        """Both paths drive a ZExpander to the same stats and content."""
+        trace = build_trace("ETC", Scale(num_keys=200, num_requests=3000, seed=7))
+        caches = []
+        stats = []
+        for batched in (True, False):
+            clock = VirtualClock()
+            cache = ZExpander(
+                ZExpanderConfig(
+                    total_capacity=64 * 1024,
+                    nzone_fraction=0.5,
+                    marker_interval_seconds=0.01,
+                    seed=3,
+                ),
+                clock=clock,
+            )
+            stats.append(
+                replay_trace(
+                    cache,
+                    trace,
+                    values,
+                    clock=clock,
+                    request_rate=50_000.0,
+                    batched=batched,
+                )
+            )
+            caches.append(cache)
+        assert stats[0] == stats[1]
+        assert caches[0].stats == caches[1].stats
+        assert caches[0].used_bytes == caches[1].used_bytes
+        assert caches[0].item_count == caches[1].item_count
+
+    def test_identical_without_demand_fill(self, values):
+        trace = mixed_trace()
+        results = [
+            replay_trace(
+                SimpleKVCache(PlainZone(1 << 13)),
+                trace,
+                values,
+                demand_fill=False,
+                batched=batched,
+            )
+            for batched in (True, False)
+        ]
+        assert results[0] == results[1]
+
+    def test_on_request_uses_reference_path(self, values):
+        """The instrumentation hook sees every request, batched default."""
+        trace = trace_of([(OP_SET, 1, 0), (OP_GET, 1, 0), (OP_DELETE, 1, 0)])
+        seen = []
+        replay_trace(
+            SimpleKVCache(PlainZone(1 << 14)),
+            trace,
+            values,
+            on_request=lambda position, op: seen.append((position, op)),
+        )
+        assert seen == [(0, OP_SET), (1, OP_GET), (2, OP_DELETE)]
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_empty_trace(self, values, batched):
+        trace = trace_of([])
+        stats = replay_trace(
+            SimpleKVCache(PlainZone(4096)), trace, values, batched=batched
+        )
+        assert stats.requests == 0
+        assert stats.miss_ratio == 0.0
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_full_warmup_counts_nothing(self, values, batched):
+        trace = mixed_trace()
+        cache = SimpleKVCache(PlainZone(1 << 14))
+        stats = replay_trace(
+            cache, trace, values, warmup_fraction=1.0, batched=batched
+        )
+        assert stats.requests == 0
+        # The cache was still driven through the whole trace.
+        assert cache.item_count > 0
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_zero_warmup_counts_everything(self, values, batched):
+        trace = mixed_trace()
+        stats = replay_trace(
+            SimpleKVCache(PlainZone(1 << 14)),
+            trace,
+            values,
+            warmup_fraction=0.0,
+            batched=batched,
+        )
+        assert stats.requests == len(trace)
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_clock_advances_once_per_request(self, values, batched):
+        trace = trace_of([(OP_SET, 1, 0)] * 100)
+        clock = VirtualClock()
+        replay_trace(
+            SimpleKVCache(PlainZone(1 << 16)),
+            trace,
+            values,
+            clock=clock,
+            request_rate=1000.0,
+            batched=batched,
+        )
+        assert clock.now() == pytest.approx(0.1)

@@ -1,0 +1,115 @@
+"""Determinism and wiring of the parallel experiment runner."""
+
+import pytest
+
+from repro.experiments import hzx_runs, mzx_runs
+from repro.experiments.cli import build_parser, main
+from repro.experiments.common import Scale
+
+TINY = Scale(num_keys=1500, num_requests=12000, seed=42)
+
+
+def _clear_memos():
+    mzx_runs._GRID_CACHE.clear()
+    hzx_runs._RUN_CACHE.clear()
+
+
+class TestGridParallelism:
+    def test_mzx_cells_identical_across_job_counts(self):
+        _clear_memos()
+        serial = mzx_runs.run_grid(
+            TINY, multiples=(1.5, 2.0), workloads=("ETC",), jobs=1
+        )
+        _clear_memos()
+        parallel = mzx_runs.run_grid(
+            TINY, multiples=(1.5, 2.0), workloads=("ETC",), jobs=2
+        )
+        _clear_memos()
+        assert len(serial) == len(parallel) == 4
+        for left, right in zip(serial, parallel):
+            assert left == right
+
+    def test_mzx_cell_order_matches_serial_layout(self):
+        _clear_memos()
+        cells = mzx_runs.run_grid(
+            TINY, multiples=(1.5, 2.0), workloads=("ETC",), jobs=2
+        )
+        _clear_memos()
+        assert [(c.workload, c.multiple, c.system) for c in cells] == [
+            ("ETC", 1.5, "memcached"),
+            ("ETC", 1.5, "M-zExpander"),
+            ("ETC", 2.0, "memcached"),
+            ("ETC", 2.0, "M-zExpander"),
+        ]
+
+    def test_hzx_cells_identical_across_job_counts(self):
+        _clear_memos()
+        serial = hzx_runs.run_mixes(TINY, mixes=((0.95, 0.05),), jobs=1)
+        _clear_memos()
+        parallel = hzx_runs.run_mixes(TINY, mixes=((0.95, 0.05),), jobs=2)
+        _clear_memos()
+        assert len(serial) == len(parallel) == 2
+        for left, right in zip(serial, parallel):
+            assert left == right
+
+    def test_memo_key_excludes_jobs(self):
+        _clear_memos()
+        first = mzx_runs.run_grid(
+            TINY, multiples=(1.5,), workloads=("ETC",), jobs=1
+        )
+        again = mzx_runs.run_grid(
+            TINY, multiples=(1.5,), workloads=("ETC",), jobs=2
+        )
+        _clear_memos()
+        assert first is again
+
+
+class TestCliJobs:
+    def test_jobs_flag_default(self):
+        args = build_parser().parse_args(["run", "fig01"])
+        assert args.jobs == 1
+
+    def test_run_with_jobs_prints_each_experiment(self, capsys):
+        status = main(
+            [
+                "run",
+                "fig01",
+                "tab01",
+                "--keys",
+                "400",
+                "--requests",
+                "6000",
+                "--jobs",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "[fig01 finished in" in out
+        assert "[tab01 finished in" in out
+        # Submission order is preserved in the output stream.
+        assert out.index("[fig01 finished in") < out.index("[tab01 finished in")
+
+    def test_serial_and_parallel_tables_match(self, capsys):
+        import re
+
+        def normalised(jobs):
+            assert (
+                main(
+                    [
+                        "run",
+                        "fig01",
+                        "--keys",
+                        "400",
+                        "--requests",
+                        "6000",
+                        "--jobs",
+                        jobs,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            return re.sub(r"finished in [0-9.]+s", "finished in Xs", out)
+
+        assert normalised("1") == normalised("2")

@@ -24,6 +24,19 @@ class TestZeta:
     def test_cached(self):
         assert zeta(5000, 0.99) == zeta(5000, 0.99)
 
+    def test_cache_is_bounded(self):
+        from repro.workloads import zipfian
+
+        for n in range(1, 2 * zipfian._ZETA_CACHE_LIMIT):
+            zeta(n, 0.5)
+        assert len(zipfian._ZETA_CACHE) <= zipfian._ZETA_CACHE_LIMIT
+        # Eviction is FIFO: the newest entry survives and stays correct.
+        newest = 2 * zipfian._ZETA_CACHE_LIMIT - 1
+        assert (newest, 0.5) in zipfian._ZETA_CACHE
+        assert zeta(newest, 0.5) == pytest.approx(
+            float(np.sum(1.0 / np.arange(1, newest + 1) ** 0.5))
+        )
+
 
 class TestZipfianGenerator:
     def test_rank_range(self):
