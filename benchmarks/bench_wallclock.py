@@ -62,7 +62,7 @@ def _scale_config(scale: Scale) -> dict:
     }
 
 
-def _build_mzx(scale: Scale, trace, capacity: int):
+def _build_mzx(scale: Scale, trace, capacity: int, verify_checksums: bool = True):
     clock = VirtualClock()
     config = ZExpanderConfig(
         total_capacity=capacity,
@@ -71,6 +71,7 @@ def _build_mzx(scale: Scale, trace, capacity: int):
         adaptive=False,
         marker_interval_seconds=0.5,
         seed=scale_seed(trace),
+        verify_checksums=verify_checksums,
     )
     return ZExpander(config, clock=clock), clock
 
@@ -242,6 +243,101 @@ def bench_zzone(scale: Scale, git_rev: str) -> list:
     return records
 
 
+def bench_integrity(scale: Scale, git_rev: str) -> list:
+    """Integrity-check overhead: the same paths with checksums on vs off.
+
+    Two measurements: the Z-zone GET-hit microbench (where the per-block
+    CRC is the *entire* added work) and the end-to-end M-zX replay with
+    ``verify_checksums=False`` (the PR-1 fast path, which must stay
+    within a few percent of the checked default).  A synthetic
+    ``integrity_check_overhead`` record carries the computed ratios.
+    """
+    count = max(500, scale.num_keys)
+    keys, hashes, values = _zzone_corpus(count)
+    item_bytes = sum(len(k) + len(v) + 14 for k, v in zip(keys, values))
+    timer = time.perf_counter
+    records = []
+    walls = {}
+    for verify in (True, False):
+        zone = ZZone(
+            capacity=item_bytes * 4,
+            clock=VirtualClock(),
+            seed=scale.seed,
+            verify_checksums=verify,
+        )
+        for key, hashed, value in zip(keys, hashes, values):
+            zone.put(key, value, hashed)
+        samples = []
+        started = timer()
+        for key, hashed in zip(keys, hashes):
+            t0 = timer()
+            zone.get(key, hashed)
+            samples.append((timer() - t0) * 1e6)
+        wall = timer() - started
+        walls[verify] = wall
+        records.append(
+            BenchRecord(
+                bench=f"zzone_get_hit_checksum_{'on' if verify else 'off'}",
+                config={
+                    "items": count,
+                    "value_bytes": 96,
+                    "verify_checksums": verify,
+                    **_scale_config(scale),
+                },
+                ops_per_sec=count / wall,
+                p50_us=percentile(samples, 50.0),
+                p99_us=percentile(samples, 99.0),
+                wall_s=wall,
+                git_rev=git_rev,
+            )
+        )
+
+    trace = build_trace("ETC", scale)
+    value_source = build_value_source("ETC", trace, seed=scale.seed)
+    capacity = int(base_size_of("ETC", scale) * 2)
+    replay_walls = {}
+    for verify in (True, False):
+        cache, clock = _build_mzx(scale, trace, capacity, verify_checksums=verify)
+        started = timer()
+        replay_trace(
+            cache, trace, value_source, clock=clock, request_rate=_REQUEST_RATE
+        )
+        replay_walls[verify] = timer() - started
+    records.append(
+        BenchRecord(
+            bench="replay_etc_mzx_nochecksum",
+            config={
+                "workload": "ETC",
+                "system": "mzx",
+                "capacity_multiple": 2.0,
+                "request_rate": _REQUEST_RATE,
+                "verify_checksums": False,
+                **_scale_config(scale),
+            },
+            ops_per_sec=len(trace) / replay_walls[False],
+            wall_s=replay_walls[False],
+            git_rev=git_rev,
+        )
+    )
+    records.append(
+        BenchRecord(
+            bench="integrity_check_overhead",
+            config={
+                "get_hit_overhead_fraction": round(
+                    walls[True] / walls[False] - 1.0, 4
+                ),
+                "replay_overhead_fraction": round(
+                    replay_walls[True] / replay_walls[False] - 1.0, 4
+                ),
+                **_scale_config(scale),
+            },
+            wall_s=walls[True] - walls[False],
+            git_rev=git_rev,
+        )
+    )
+    return records
+
+
 def bench_runall(scale: Scale, jobs: int, git_rev: str) -> BenchRecord:
     """End-to-end ``cli run all`` timing (stdout suppressed)."""
     import contextlib
@@ -314,6 +410,19 @@ def main(argv=None) -> int:
             f"p50 {record.p50_us:.1f} µs  p99 {record.p99_us:.1f} µs  "
             f"({record.wall_s:.2f} s)"
         )
+        records.append(record)
+    for record in bench_integrity(scale, git_rev):
+        if record.bench == "integrity_check_overhead":
+            print(
+                "integrity_check_overhead: "
+                f"get-hit {record.config['get_hit_overhead_fraction']:+.1%}  "
+                f"replay {record.config['replay_overhead_fraction']:+.1%}"
+            )
+        elif record.ops_per_sec:
+            print(
+                f"{record.bench}: {record.ops_per_sec:,.0f} ops/s  "
+                f"({record.wall_s:.2f} s)"
+            )
         records.append(record)
     if args.runall:
         record = bench_runall(scale, args.jobs, git_rev)

@@ -20,6 +20,16 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.common.clock import VirtualClock
+from repro.common.errors import (
+    CacheError,
+    CapacityError,
+    CodecError,
+    ConfigurationError,
+    CorruptionDetectedError,
+    FaultPlanError,
+    IntegrityError,
+    ItemTooLargeError,
+)
 from repro.common.records import KVItem, Operation, Request
 from repro.common.units import GB, KB, MB, format_bytes, parse_size
 from repro.core import (
@@ -35,6 +45,7 @@ from repro.compression import (
     NullCompressor,
     ZlibCompressor,
 )
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.nzone import HPCacheZone, MemcachedZone, PlainZone
 from repro.zzone import ZZone
 
@@ -44,7 +55,18 @@ __all__ = [
     "GB",
     "KB",
     "MB",
+    "CacheError",
+    "CapacityError",
+    "CodecError",
+    "ConfigurationError",
+    "CorruptionDetectedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
     "HPCacheZone",
+    "IntegrityError",
+    "ItemTooLargeError",
     "KVItem",
     "LZ4Compressor",
     "MemcachedZone",

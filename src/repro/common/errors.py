@@ -28,3 +28,36 @@ class ItemTooLargeError(CapacityError):
         self.key = key
         self.item_size = item_size
         self.limit = limit
+
+
+class IntegrityError(CacheError):
+    """Stored data failed an integrity check (checksum, codec, round-trip).
+
+    The Z-zone treats every :class:`IntegrityError` as block damage: the
+    affected block is quarantined, its items become counted misses, and
+    serving continues — integrity failures must never crash the cache.
+    """
+
+
+class CorruptionDetectedError(IntegrityError):
+    """A block's payload checksum did not match its stored checksum."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"payload checksum mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class CodecError(IntegrityError, ValueError):
+    """A codec raised or produced bytes that cannot be the original data.
+
+    Also a :class:`ValueError` so pre-existing callers that treated corrupt
+    containers as value errors keep working unchanged.
+    """
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault-injection plan is malformed (unknown site, bad rates)."""

@@ -24,6 +24,7 @@ callers that only need a *ratio* at scale use
 
 from __future__ import annotations
 
+from repro.common.errors import CodecError
 from repro.compression.base import Compressed, Compressor
 
 _MIN_MATCH = 4
@@ -123,7 +124,7 @@ def lz4_block_decompress(block: bytes) -> bytes:
         offset = int.from_bytes(block[pos : pos + 2], "little")
         pos += 2
         if offset == 0:
-            raise ValueError("corrupt LZ4 block: zero match offset")
+            raise CodecError("corrupt LZ4 block: zero match offset")
         match_length = (token & 0x0F) + _MIN_MATCH
         if (token & 0x0F) == 15:
             while True:
@@ -134,7 +135,7 @@ def lz4_block_decompress(block: bytes) -> bytes:
                     break
         start = len(out) - offset
         if start < 0:
-            raise ValueError("corrupt LZ4 block: offset beyond output")
+            raise CodecError("corrupt LZ4 block: offset beyond output")
         # Overlapping copies are the norm (offset < match_length encodes
         # run-length repetition), so copy byte ranges chunk by chunk.
         while match_length > 0:
@@ -169,10 +170,14 @@ class LZ4Compressor(Compressor):
     def decompress(self, compressed: Compressed) -> bytes:
         payload = compressed.payload
         if not payload:
-            raise ValueError("empty compressed payload")
+            raise CodecError("empty compressed payload")
         marker, body = payload[:1], payload[1:]
         if marker == self._LZ4:
-            return lz4_block_decompress(body)
+            try:
+                return lz4_block_decompress(body)
+            except IndexError:
+                # A truncated sequence runs off the end of the block.
+                raise CodecError("corrupt LZ4 block: truncated sequence") from None
         if marker == self._RAW:
             return body
-        raise ValueError(f"unknown container marker {marker!r}")
+        raise CodecError(f"unknown container marker {marker!r}")

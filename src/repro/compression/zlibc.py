@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import zlib
 
+from repro.common.errors import CodecError
 from repro.compression.base import Compressed, Compressor
 
 
@@ -43,10 +44,13 @@ class ZlibCompressor(Compressor):
     def decompress(self, compressed: Compressed) -> bytes:
         payload = compressed.payload
         if not payload:
-            raise ValueError("empty compressed payload")
+            raise CodecError("empty compressed payload")
         marker, body = payload[:1], payload[1:]
         if marker == self._DEFLATE:
-            return zlib.decompress(body, self._WBITS)
+            try:
+                return zlib.decompress(body, self._WBITS)
+            except zlib.error as exc:
+                raise CodecError(f"corrupt DEFLATE stream: {exc}") from None
         if marker == self._RAW:
             return body
-        raise ValueError(f"unknown container marker {marker!r}")
+        raise CodecError(f"unknown container marker {marker!r}")

@@ -7,6 +7,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.compression.base import Compressor
+from repro.faults.plan import FaultPlan
 from repro.nzone.base import NZone
 from repro.zzone.zzone import DEFAULT_BLOCK_CAPACITY
 
@@ -44,6 +45,12 @@ class ZExpanderConfig:
     promotion_policy: str = "reuse-time"
     use_content_filter: bool = True
     use_access_filter: bool = True
+    #: Verify each Z-zone block's payload CRC before decompression.
+    #: Turning it off recovers the unchecked PR-1 fast path.
+    verify_checksums: bool = True
+    #: Optional seeded fault plan; setting one wraps the codec in a
+    #: fault injector and arms the corruption hooks (chaos testing).
+    fault_plan: Optional[FaultPlan] = None
 
     def validate(self) -> None:
         if self.total_capacity <= 0:
@@ -73,4 +80,10 @@ class ZExpanderConfig:
         if self.promotion_policy not in ("reuse-time", "always", "never"):
             raise ConfigurationError(
                 f"unknown promotion_policy {self.promotion_policy!r}"
+            )
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
             )

@@ -65,6 +65,7 @@ def replay_trace(
     demand_fill: bool = True,
     on_request: Optional[Callable[[int, int], None]] = None,
     batched: bool = True,
+    faults=None,
 ) -> ReplayStats:
     """Replay ``trace`` against ``cache`` with real bytes.
 
@@ -73,11 +74,15 @@ def replay_trace(
     ages, adaptation windows).  ``on_request(position, op)`` is called
     after each request for timeline instrumentation; supplying it routes
     the replay through the per-entry reference loop, as does
-    ``batched=False``.
+    ``batched=False``.  ``faults`` (a duck-typed
+    :class:`~repro.faults.injector.FaultInjector`) gets
+    ``on_request(position, clock=, cache=)`` *before* each request so it
+    can skew the clock or squeeze capacity; it also forces the reference
+    loop.
     """
     if request_rate <= 0:
         raise ValueError(f"request_rate must be positive, got {request_rate}")
-    if not batched or on_request is not None:
+    if not batched or on_request is not None or faults is not None:
         return _replay_reference(
             cache,
             trace,
@@ -87,6 +92,7 @@ def replay_trace(
             warmup_fraction,
             demand_fill,
             on_request,
+            faults,
         )
     return _replay_batched(
         cache,
@@ -108,6 +114,7 @@ def _replay_reference(
     warmup_fraction: float,
     demand_fill: bool,
     on_request: Optional[Callable[[int, int], None]],
+    faults=None,
 ) -> ReplayStats:
     """Per-entry loop: one branch tree per request, stats updated inline."""
     warmup = int(len(trace) * warmup_fraction)
@@ -116,6 +123,8 @@ def _replay_reference(
     for position, (op, key_id, _size) in enumerate(trace):
         if clock is not None:
             clock.advance(tick)
+        if faults is not None:
+            faults.on_request(position, clock=clock, cache=cache)
         key = trace.key_bytes(key_id)
         measuring = position >= warmup
         if op == OP_GET:

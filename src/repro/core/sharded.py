@@ -14,7 +14,7 @@ counterpart).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import ConfigurationError
@@ -98,6 +98,24 @@ class ShardedZExpander:
             for name, value in vars(shard.stats).items():
                 setattr(total, name, getattr(total, name) + value)
         return total
+
+    def aggregate_integrity(self) -> Dict[str, int]:
+        """Fleet-wide Z-zone integrity counters (chaos/ops dashboards)."""
+        names = (
+            "checksum_failures",
+            "codec_failures",
+            "codec_fallbacks",
+            "quarantined_blocks",
+            "quarantined_items",
+            "quarantined_bytes",
+            "emergency_sweeps",
+        )
+        totals = {name: 0 for name in names}
+        for shard in self.shards:
+            stats = shard.zzone.stats
+            for name in names:
+                totals[name] += getattr(stats, name)
+        return totals
 
     def shard_miss_ratios(self) -> List[float]:
         return [shard.stats.miss_ratio for shard in self.shards]

@@ -48,14 +48,28 @@ class ZExpander:
             lambda capacity: HPCacheZone(capacity, seed=config.seed)
         )
         self.nzone: NZone = factory(nzone_capacity)
+        #: Armed only by a configured fault plan; ``None`` in production
+        #: paths, so chaos machinery costs a single attribute.
+        self.fault_injector = None
+        compressor = config.compressor
+        if config.fault_plan is not None:
+            from repro.compression.zlibc import ZlibCompressor
+            from repro.faults.codec import FaultyCompressor
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(config.fault_plan)
+            inner = compressor if compressor is not None else ZlibCompressor()
+            compressor = FaultyCompressor(inner, self.fault_injector)
         self.zzone = ZZone(
             capacity=config.total_capacity - nzone_capacity,
-            compressor=config.compressor,
+            compressor=compressor,
             block_capacity=config.block_capacity,
             clock=self.clock,
             seed=config.seed,
             use_content_filter=config.use_content_filter,
             use_access_filter=config.use_access_filter,
+            verify_checksums=config.verify_checksums,
+            faults=self.fault_injector,
         )
         self.benchmark = LocalityBenchmark(config.benchmark_weights)
         self.allocator: Optional[AdaptiveAllocator] = None

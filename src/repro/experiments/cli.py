@@ -5,10 +5,13 @@ Usage::
     python -m repro.experiments.cli list
     python -m repro.experiments.cli run fig05 tab02
     python -m repro.experiments.cli run all --keys 8000 --requests 160000
+    python -m repro.experiments.cli chaos --seed 7
 
 Each experiment prints the same rows/series the paper reports; scale
 flags shrink runs for quick looks (committed bench outputs use the
-default scale).
+default scale).  ``chaos`` replays a workload under a seeded fault plan
+and exits nonzero if the cache crashed, broke an invariant, missed an
+injected corruption, or degraded disproportionately.
 """
 
 from __future__ import annotations
@@ -76,6 +79,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent experiments/replays "
         "(1 = serial in-process; results are identical at any value)",
     )
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="fault-injection replay: assert the cache survives and degrades gracefully",
+    )
+    chaos_parser.add_argument(
+        "--workload", default="ETC", help="workload shape (ETC/APP/USR/YCSB)"
+    )
+    chaos_parser.add_argument("--keys", type=int, default=2_000)
+    chaos_parser.add_argument("--requests", type=int, default=40_000)
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0, help="seeds the trace AND the fault plan"
+    )
+    chaos_parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan (default: the built-in all-sites mix)",
+    )
+    chaos_parser.add_argument(
+        "--size-multiplier",
+        type=float,
+        default=1.0,
+        help="cache capacity as a multiple of the workload's base cache size",
+    )
+    chaos_parser.add_argument("--audit-interval", type=int, default=512)
+    chaos_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the clean twin replay (faster; disables the degradation bound)",
+    )
     return parser
 
 
@@ -92,8 +125,37 @@ def run_experiment(name: str, scale: Scale) -> None:
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
 
+def run_chaos_command(args) -> int:
+    from repro.common.errors import FaultPlanError
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    try:
+        plan = FaultPlan.load(args.plan) if args.plan else None
+    except OSError as exc:
+        print(f"error: cannot read fault plan {args.plan!r}: {exc}", file=sys.stderr)
+        return 2
+    except (FaultPlanError, ValueError) as exc:
+        print(f"error: invalid fault plan {args.plan!r}: {exc}", file=sys.stderr)
+        return 2
+    report = run_chaos(
+        workload=args.workload,
+        num_keys=args.keys,
+        num_requests=args.requests,
+        seed=args.seed,
+        plan=plan,
+        audit_interval=args.audit_interval,
+        baseline=not args.no_baseline,
+        size_multiplier=args.size_multiplier,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "chaos":
+        return run_chaos_command(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_module, description) in EXPERIMENTS.items():

@@ -1,0 +1,26 @@
+"""Deterministic fault injection and chaos testing.
+
+The package splits cleanly in two:
+
+* The *data-plane* pieces — :class:`FaultPlan`, :class:`FaultInjector`,
+  :class:`FaultyCompressor`, :class:`InvariantAuditor` — depend only on
+  ``common``/``compression`` and are exported here.
+* The *driver* — :mod:`repro.faults.chaos` — depends on ``core`` and
+  ``experiments`` and is imported explicitly
+  (``from repro.faults.chaos import run_chaos``) so this package never
+  creates an import cycle with the cache it injects faults into.
+"""
+
+from repro.faults.auditor import InvariantAuditor
+from repro.faults.codec import FaultyCompressor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import SITES, FaultPlan, FaultSpec
+
+__all__ = [
+    "SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultyCompressor",
+    "InvariantAuditor",
+]

@@ -1,0 +1,28 @@
+"""Invariant auditing for chaos runs.
+
+Chaos replays keep a structural auditor switched on: every ``interval``
+requests it re-verifies the cache's own invariants (byte accounting ==
+trie + live blocks, sweep-ring closure, item counts) so a fault that
+corrupts *bookkeeping* — not just data — is caught at the request where
+it happened, not at the end of a million-request run.
+"""
+
+from __future__ import annotations
+
+
+class InvariantAuditor:
+    """Calls ``cache.check_invariants()`` every ``interval`` requests."""
+
+    def __init__(self, cache, interval: int = 512) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.cache = cache
+        self.interval = interval
+        #: Completed audits; chaos reports this to prove the auditor ran.
+        self.audits = 0
+
+    def on_request(self, position: int, op: int = 0) -> None:
+        """Replay instrumentation hook (matches ``on_request(pos, op)``)."""
+        if position % self.interval == 0:
+            self.cache.check_invariants()
+            self.audits += 1

@@ -1,0 +1,51 @@
+"""A fault-injecting wrapper around any real codec.
+
+:class:`FaultyCompressor` sits where the real codec would and consults the
+injector on every call.  An ``"error"`` fault raises
+:class:`~repro.common.errors.CodecError` — the exception the Z-zone's
+fallback chain and quarantine paths are built to absorb.  A ``"garbage"``
+fault silently returns wrong-shaped bytes, modelling a codec bug rather
+than a crash; the Z-zone's container length check is what must catch it.
+
+The wrapped codec stays reachable as ``.inner`` so the Z-zone's fallback
+chain can be derived from the *real* codec, and degrading means leaving
+the faulty wrapper behind entirely.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CodecError
+from repro.compression.base import Compressed, Compressor
+
+
+class FaultyCompressor(Compressor):
+    """Wraps ``inner``, injecting faults per the injector's plan."""
+
+    def __init__(self, inner: Compressor, injector) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.name = inner.name
+
+    def compress(self, data: bytes) -> Compressed:
+        mode = self.injector.maybe_fail_codec("codec.compress")
+        if mode == "error":
+            raise CodecError("injected fault: compress raised")
+        compressed = self.inner.compress(data)
+        if mode == "garbage":
+            # Truncate the payload but keep the advertised size: the
+            # damage is invisible until the container is read back.
+            payload = compressed.payload[:-1] or b"\x00"
+            return Compressed(
+                payload=payload, stored_size=compressed.stored_size
+            )
+        return compressed
+
+    def decompress(self, compressed: Compressed) -> bytes:
+        mode = self.injector.maybe_fail_codec("codec.decompress")
+        if mode == "error":
+            raise CodecError("injected fault: decompress raised")
+        data = self.inner.decompress(compressed)
+        if mode == "garbage":
+            # Wrong-length output; the zone's shape check must reject it.
+            return data[:-1] if data else b"\x00"
+        return data

@@ -7,7 +7,13 @@ block: the *Content Filter* avoids decompressing blocks for absent keys,
 and the *Access Filter* drives the sweep replacement policy.
 """
 
-from repro.zzone.block import Block, BlockFullError, decode_items, encode_items
+from repro.zzone.block import (
+    Block,
+    BlockFullError,
+    LargeItem,
+    decode_items,
+    encode_items,
+)
 from repro.zzone.bloom import Bloom128
 from repro.zzone.trie import BlockTrie
 from repro.zzone.zzone import ZZone, ZZoneStats
@@ -17,6 +23,7 @@ __all__ = [
     "BlockFullError",
     "Bloom128",
     "BlockTrie",
+    "LargeItem",
     "ZZone",
     "ZZoneStats",
     "decode_items",

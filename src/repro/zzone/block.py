@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import bisect
 import struct
+import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common.errors import CacheError
+from repro.common.errors import CacheError, CorruptionDetectedError
 from repro.common.records import KVItem
 from repro.compression.base import Compressed, Compressor
 from repro.zzone.bloom import Bloom128
@@ -37,8 +38,13 @@ from repro.zzone.bloom import Bloom128
 #: paper's layout: Content Filter (16 B) + Access Filter (16 B) + two
 #: recent-access records (16 B) + 8 two-byte index offsets with 8 four-byte
 #: index hashes (48 B) + trie pointer (4 B) + circular-list link (8 B) +
-#: item count and sizes (8 B).
+#: item count and sizes (8 B).  The CRC32 payload checksum added for block
+#: integrity rides inside the existing count/size word's padding and is
+#: deliberately *not* charged, so memory-breakdown results stay comparable
+#: with the paper's layout.
 BLOCK_METADATA_BYTES = 16 + 16 + 16 + 48 + 4 + 8 + 8
+
+_crc32 = zlib.crc32
 
 _INDEX_FANOUT = 8
 
@@ -118,6 +124,8 @@ class Block:
         "access_filter",
         "recent_accesses",
         "large_refs",
+        "checksum",
+        "codec",
         "_index_hashes",
         "_index_offsets",
         "_base_bytes",
@@ -136,6 +144,7 @@ class Block:
         index_hashes: List[int],
         index_offsets: List[int],
         large_refs: Optional[Dict[bytes, "LargeItem"]] = None,
+        codec: Optional[Compressor] = None,
     ) -> None:
         self.depth = depth
         self.prefix = prefix
@@ -147,6 +156,12 @@ class Block:
         #: Two (hashed_key, timestamp) slots for the promotion rule.
         self.recent_accesses: List[Tuple[int, float]] = []
         self.large_refs: Dict[bytes, LargeItem] = large_refs or {}
+        #: CRC32 over the compressed payload, checked before decompression.
+        self.checksum = _crc32(compressed.payload)
+        #: The codec that wrote this container.  The zone decompresses with
+        #: it rather than with its *current* codec, so a codec-fallback
+        #: switch never strands blocks written under the previous codec.
+        self.codec = codec
         self._index_hashes = index_hashes
         self._index_offsets = index_offsets
         # Container + fixed metadata never change after construction
@@ -208,11 +223,24 @@ class Block:
             index_hashes=index_hashes,
             index_offsets=index_offsets,
             large_refs=large_refs,
+            codec=compressor,
         )
         if large_refs:
             for large in large_refs.values():
                 content.add(large.hashed_key)
         return block
+
+    # -- integrity -----------------------------------------------------------
+
+    def checksum_ok(self) -> bool:
+        """Whether the compressed payload still matches its stored CRC32."""
+        return _crc32(self.compressed.payload) == self.checksum
+
+    def verify_checksum(self) -> None:
+        """Raise :class:`CorruptionDetectedError` if the payload changed."""
+        actual = _crc32(self.compressed.payload)
+        if actual != self.checksum:
+            raise CorruptionDetectedError(self.checksum, actual)
 
     # -- lookups ------------------------------------------------------------
 
@@ -233,9 +261,14 @@ class Block:
         if large is not None:
             return compressor.decompress(large.compressed)
         container = compressor.decompress(self.compressed)
-        return self._scan(container, key, hashed_key)
+        return self.scan(container, key, hashed_key)
 
-    def _scan(self, container: bytes, key: bytes, hashed_key: int) -> Optional[bytes]:
+    def scan(self, container: bytes, key: bytes, hashed_key: int) -> Optional[bytes]:
+        """Find ``key`` in an already-decompressed ``container``.
+
+        Split out from :meth:`lookup` so the zone can verify the container's
+        integrity between decompression and the scan.
+        """
         pos = 0
         if self._index_hashes:
             slot = bisect.bisect_right(self._index_hashes, hashed_key) - 1
@@ -311,14 +344,27 @@ class LargeItem:
     Content Filter records the key.
     """
 
-    __slots__ = ("key", "hashed_key", "compressed", "uncompressed_size", "accessed")
+    __slots__ = (
+        "key",
+        "hashed_key",
+        "compressed",
+        "uncompressed_size",
+        "accessed",
+        "checksum",
+        "codec",
+    )
 
     #: Pointer from the block + key hash + bookkeeping, per the paper's
     #: "a pointer recording its address is stored in the block".
     _REF_OVERHEAD = 16
 
     def __init__(
-        self, key: bytes, hashed_key: int, compressed: Compressed, uncompressed_size: int
+        self,
+        key: bytes,
+        hashed_key: int,
+        compressed: Compressed,
+        uncompressed_size: int,
+        codec: Optional[Compressor] = None,
     ) -> None:
         self.key = key
         self.hashed_key = hashed_key
@@ -326,6 +372,13 @@ class LargeItem:
         self.uncompressed_size = uncompressed_size
         #: Reference bit for sweep eviction.
         self.accessed = False
+        #: Same integrity metadata as blocks (see :class:`Block`).
+        self.checksum = _crc32(compressed.payload)
+        self.codec = codec
+
+    def checksum_ok(self) -> bool:
+        """Whether the compressed payload still matches its stored CRC32."""
+        return _crc32(self.compressed.payload) == self.checksum
 
     @property
     def memory_bytes(self) -> int:

@@ -14,16 +14,31 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import VirtualClock
-from repro.common.errors import ItemTooLargeError
+from repro.common.errors import CacheError, CodecError, ItemTooLargeError
 from repro.common.hashing import hash_key
 from repro.common.records import KVItem
 from repro.common.rng import make_rng
 from repro.compression.base import Compressor
+from repro.compression.lz4 import LZ4Compressor
+from repro.compression.null import NullCompressor
 from repro.compression.zlibc import ZlibCompressor
-from repro.zzone.block import Block, LargeItem
+from repro.zzone.block import Block, LargeItem, decode_items
 from repro.zzone.trie import BlockTrie
 
 DEFAULT_BLOCK_CAPACITY = 2048
+
+#: Consecutive codec failures tolerated before falling back to the next
+#: codec in the degradation chain (lz4 -> deflate -> null).
+CODEC_FAULT_TOLERANCE = 3
+
+#: Overage fraction beyond which :meth:`ZZone._evict_to_fit` stops
+#: respecting the Access Filter and force-sweeps (emergency pressure,
+#: e.g. a large externally injected capacity squeeze).  Normal operation
+#: never exceeds this: puts evict incrementally, and although adaptive
+#: resizing's ~3 %-of-total steps can be a sizeable fraction of a
+#: near-empty Z-zone's own budget, they stay safely below 50 % (a 40 %
+#: injected squeeze on a full zone overshoots ~67 %).
+EMERGENCY_OVERAGE = 0.5
 
 
 @dataclass
@@ -47,11 +62,28 @@ class ZZoneStats:
     sweep_visits: int = 0
     pending_removals_executed: int = 0
     pending_removals_merged: int = 0
+    #: Integrity taxonomy: payload failed its CRC before decompression.
+    checksum_failures: int = 0
+    #: Codec raised, or returned bytes of the wrong shape.
+    codec_failures: int = 0
+    #: Times the zone switched to the next codec in the fallback chain.
+    codec_fallbacks: int = 0
+    #: Damaged blocks dropped whole; their items became counted misses.
+    quarantined_blocks: int = 0
+    quarantined_items: int = 0
+    quarantined_bytes: int = 0
+    #: Forced full-pressure sweeps triggered by severe capacity overage.
+    emergency_sweeps: int = 0
 
     @property
     def expensive_ops(self) -> int:
         """Operations involving block (de)compression (§3.3.1's metric)."""
         return self.decompressions + self.compressions
+
+    @property
+    def integrity_events(self) -> int:
+        """Total detected integrity failures (checksum + codec)."""
+        return self.checksum_failures + self.codec_failures
 
 
 class ZZone:
@@ -66,6 +98,8 @@ class ZZone:
         seed: int = 0,
         use_content_filter: bool = True,
         use_access_filter: bool = True,
+        verify_checksums: bool = True,
+        faults=None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -79,6 +113,14 @@ class ZZone:
         #: blindly.
         self.use_content_filter = use_content_filter
         self.use_access_filter = use_access_filter
+        #: Verify each block's payload CRC before decompressing it.  Off,
+        #: the zone trusts payloads (the PR-1 fast path); codec failures
+        #: are still caught and quarantined either way.
+        self.verify_checksums = verify_checksums
+        #: Optional fault injector (duck-typed ``FaultInjector``): consulted
+        #: on every keyed access when present, a single ``is None`` check
+        #: when absent.
+        self._faults = faults
         self.compressor = compressor if compressor is not None else ZlibCompressor()
         self.clock = clock if clock is not None else VirtualClock()
         self.stats = ZZoneStats()
@@ -87,11 +129,15 @@ class ZZone:
         self._used = 0
         self._item_count = 0
         self._hand: Optional[Block] = None
+        #: Graceful degradation: codecs to fall back to after repeated
+        #: codec faults.  The chain always ends in a plain NullCompressor
+        #: (which cannot fail), so a reconstruction can always complete.
+        self._fallbacks = self._fallback_chain()
+        self._codec_strikes = 0
         #: key -> (hashed_key, earliest execution time); §3.3.2's postponed
         #: removals of stale versions after a SET hit the N-zone.
         self._pending_removals: Dict[bytes, Tuple[int, float]] = {}
-        root = Block.build([], self.compressor)
-        self.stats.compressions += 1
+        root = self._build_block([])
         self._trie.insert_root(root)
         self._link_initial(root)
         self._used = root.memory_bytes + self._trie.memory_bytes
@@ -154,6 +200,149 @@ class ZZone:
     def _recharge(self, old_bytes: int, new_bytes: int) -> None:
         self._used += new_bytes - old_bytes
 
+    # -- integrity and degradation ---------------------------------------------
+
+    def _fallback_chain(self) -> List[Compressor]:
+        """Codecs to degrade to: lz4 -> deflate -> null, deflate -> null.
+
+        A fault-wrapped codec exposes its real codec as ``.inner``; the
+        fallbacks themselves are plain codecs (degrading means leaving the
+        faulty codec behind), so the chain always terminates in a codec
+        that cannot raise.
+        """
+        inner = getattr(self.compressor, "inner", self.compressor)
+        chain: List[Compressor] = []
+        if isinstance(inner, LZ4Compressor):
+            chain.append(ZlibCompressor())
+        if not (type(inner) is NullCompressor and inner is self.compressor):
+            chain.append(NullCompressor())
+        return chain
+
+    def _note_codec_failure(self) -> None:
+        """Count a codec fault; repeated faults advance the fallback chain."""
+        self.stats.codec_failures += 1
+        self._codec_strikes += 1
+        if self._codec_strikes >= CODEC_FAULT_TOLERANCE and self._fallbacks:
+            self.compressor = self._fallbacks.pop(0)
+            self.stats.codec_fallbacks += 1
+            self._codec_strikes = 0
+
+    def _build_block(
+        self,
+        items: List[KVItem],
+        depth: int = 0,
+        prefix: int = 0,
+        large_refs: Optional[Dict[bytes, LargeItem]] = None,
+    ) -> Block:
+        """Build a block with the current codec, degrading on codec faults."""
+        for _attempt in range(4 * (len(self._fallbacks) + 1)):
+            try:
+                block = Block.build(
+                    items,
+                    self.compressor,
+                    depth=depth,
+                    prefix=prefix,
+                    large_refs=large_refs,
+                )
+            except CodecError:
+                self._note_codec_failure()
+                continue
+            self._codec_strikes = 0
+            self.stats.compressions += 1
+            return block
+        raise CodecError("compression failed with every codec in the chain")
+
+    def _compress_value(self, value: bytes) -> Tuple["Compressed", Compressor]:
+        """Compress a large item's value, degrading on codec faults."""
+        for _attempt in range(4 * (len(self._fallbacks) + 1)):
+            codec = self.compressor
+            try:
+                compressed = codec.compress(value)
+            except CodecError:
+                self._note_codec_failure()
+                continue
+            self._codec_strikes = 0
+            self.stats.compressions += 1
+            return compressed, codec
+        raise CodecError("compression failed with every codec in the chain")
+
+    def _container_of(self, leaf: Block, charge: bool = True) -> Optional[bytes]:
+        """Checksummed decompression of ``leaf``'s container.
+
+        Returns the container bytes, or None after quarantining the block
+        when its checksum fails or its codec raises / returns bytes of the
+        wrong size.  ``charge=False`` keeps the decompression off the
+        priced stats (accounting-neutral iteration).
+        """
+        if charge:
+            self.stats.decompressions += 1
+        if self.verify_checksums and not leaf.checksum_ok():
+            self.stats.checksum_failures += 1
+            self._quarantine(leaf)
+            return None
+        codec = leaf.codec or self.compressor
+        try:
+            container = codec.decompress(leaf.compressed)
+        except Exception:
+            self._note_codec_failure()
+            self._quarantine(leaf)
+            return None
+        if len(container) != leaf.uncompressed_size:
+            # The codec produced garbage of the wrong shape.
+            self._note_codec_failure()
+            self._quarantine(leaf)
+            return None
+        return container
+
+    def _large_bytes(
+        self, leaf: Block, key: bytes, large: LargeItem, charge: bool = True
+    ) -> Optional[bytes]:
+        """Checksummed decompression of a large item; drops it on damage."""
+        if charge:
+            self.stats.decompressions += 1
+        if self.verify_checksums and not large.checksum_ok():
+            self.stats.checksum_failures += 1
+            self._drop_large(leaf, key)
+            return None
+        codec = large.codec or self.compressor
+        try:
+            value = codec.decompress(large.compressed)
+        except Exception:
+            self._note_codec_failure()
+            self._drop_large(leaf, key)
+            return None
+        if len(key) + len(value) != large.uncompressed_size:
+            self._note_codec_failure()
+            self._drop_large(leaf, key)
+            return None
+        return value
+
+    def _drop_large(self, leaf: Block, key: bytes) -> None:
+        """Quarantine a single damaged large item (its block is intact)."""
+        old_bytes = leaf.memory_bytes
+        del leaf.large_refs[key]
+        self._item_count -= 1
+        self.stats.quarantined_items += 1
+        self._recharge(old_bytes, leaf.memory_bytes)
+
+    def _quarantine(self, block: Block) -> Block:
+        """Drop a damaged block and rebuild its trie slot empty.
+
+        The block's items become counted misses for whoever asks for them
+        next; the replacement keeps the trie shape and the sweep ring
+        intact so serving continues uninterrupted.
+        """
+        lost = block.item_count + len(block.large_refs)
+        self.stats.quarantined_blocks += 1
+        self.stats.quarantined_items += lost
+        self.stats.quarantined_bytes += block.memory_bytes
+        self._item_count -= lost
+        replacement = self._build_block([], depth=block.depth, prefix=block.prefix)
+        self._trie.replace_leaf(block, replacement)
+        self._splice_replace(block, [replacement])
+        self._recharge(block.memory_bytes, replacement.memory_bytes)
+        return replacement
+
     # -- core operations --------------------------------------------------------
 
     def get(self, key: bytes, hashed: Optional[int] = None) -> Optional[Tuple[bytes, Optional[float]]]:
@@ -170,19 +359,29 @@ class ZZone:
         if leaf is None:
             self.stats.misses += 1
             return None
+        if self._faults is not None:
+            self._faults.maybe_corrupt(leaf)
         if self.use_content_filter and not leaf.maybe_contains(hashed):
             self.stats.filter_skips += 1
             self.stats.misses += 1
             return None
         large = leaf.large_refs.get(key)
         if large is not None:
-            self.stats.decompressions += 1
+            value = self._large_bytes(leaf, key, large)
+            if value is None:
+                # Damaged large item: quarantined, counted as a miss.
+                self.stats.misses += 1
+                return None
             large.accessed = True
             reuse = leaf.record_get(hashed, self.clock.now())
             self.stats.hits += 1
-            return self.compressor.decompress(large.compressed), reuse
-        self.stats.decompressions += 1
-        value = leaf.lookup(key, hashed, self.compressor)
+            return value, reuse
+        container = self._container_of(leaf)
+        if container is None:
+            # Damaged block: quarantined, its items are misses from now on.
+            self.stats.misses += 1
+            return None
+        value = leaf.scan(container, key, hashed)
         if value is None:
             # A decompression that found nothing: a filter false positive
             # when the filter is on, plain wasted work when it is off.
@@ -210,13 +409,26 @@ class ZZone:
         self.stats.puts += 1
         # A put of the same key supersedes any postponed removal: the
         # paper's "removal and write operations are merged into one".
-        if self._pending_removals.pop(key, None) is not None:
+        pending = self._pending_removals.pop(key, None)
+        if pending is not None:
             self.stats.pending_removals_merged += 1
         leaf = self._trie.find_leaf(hashed)
-        if item_size > self.block_capacity // 2:
-            self._put_large(leaf, key, value, hashed)
-        else:
-            self._put_compact(leaf, key, value, hashed)
+        if self._faults is not None:
+            self._faults.maybe_corrupt(leaf)
+        try:
+            if item_size > self.block_capacity // 2:
+                self._put_large(leaf, key, value, hashed)
+            else:
+                self._put_compact(leaf, key, value, hashed)
+        except CacheError:
+            # Rollback path: reconstruction failed before any structure
+            # was swapped in (all mutation happens after a successful
+            # build), so byte accounting and the sweep list are already
+            # unchanged — only the merged pending removal needs restoring.
+            if pending is not None:
+                self._pending_removals[key] = pending
+                self.stats.pending_removals_merged -= 1
+            raise
         self._evict_to_fit()
 
     def delete(self, key: bytes, hashed: Optional[int] = None) -> bool:
@@ -227,6 +439,8 @@ class ZZone:
         leaf = self._trie.find_leaf(hashed)
         if leaf is None:
             return False
+        if self._faults is not None:
+            self._faults.maybe_corrupt(leaf)
         if self.use_content_filter and not leaf.maybe_contains(hashed):
             self.stats.filter_skips += 1
             return False
@@ -241,8 +455,13 @@ class ZZone:
     # -- insertion internals ------------------------------------------------------
 
     def _put_compact(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
-        self.stats.decompressions += 1
-        items = leaf.items(self.compressor)
+        container = self._container_of(leaf)
+        if container is None:
+            # The block was damaged and quarantined; insert into the
+            # rebuilt (empty, checksum-valid) slot instead.
+            self._put_compact(self._trie.find_leaf(hashed), key, value, hashed)
+            return
+        items = decode_items(container)
         replaced = False
         for position, existing in enumerate(items):
             if existing.key == key:
@@ -251,40 +470,47 @@ class ZZone:
                 break
         if not replaced:
             items.append(KVItem(key=key, value=value, hashed_key=hashed))
-            self._item_count += 1
         large_refs = dict(leaf.large_refs)
         stale_large = large_refs.pop(key, None)
-        if stale_large is not None:
-            self._item_count -= 1  # the compact copy replaces the large one
         serialized = sum(14 + len(it.key) + len(it.value) for it in items)
         if serialized <= self.block_capacity:
             self._rebuild(leaf, items, large_refs)
         else:
             self._split(leaf, items, large_refs)
+        # Count only after the new structure is in place so a failed
+        # reconstruction leaves the zone's accounting untouched.
+        if not replaced:
+            self._item_count += 1
+        if stale_large is not None:
+            self._item_count -= 1  # the compact copy replaces the large one
 
     def _put_large(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
-        compressed = self.compressor.compress(value)
-        self.stats.compressions += 1
+        compressed, codec = self._compress_value(value)
         large = LargeItem(
             key=key,
             hashed_key=hashed,
             compressed=compressed,
             uncompressed_size=len(key) + len(value),
+            codec=codec,
         )
         if leaf.maybe_contains(hashed) and key not in leaf.large_refs:
             # The key may exist compacted in the container: rebuild without
             # it so the item is not doubly stored.
-            self.stats.decompressions += 1
-            items = [it for it in leaf.items(self.compressor) if it.key != key]
-            large_refs = dict(leaf.large_refs)
-            was_present = (
-                len(items) < leaf.item_count or key in leaf.large_refs
-            )
-            large_refs[key] = large
-            if not was_present:
-                self._item_count += 1
-            self._rebuild(leaf, items, large_refs)
-            return
+            container = self._container_of(leaf)
+            if container is None:
+                # Quarantined: fall through to the rebuilt empty slot.
+                leaf = self._trie.find_leaf(hashed)
+            else:
+                items = [it for it in decode_items(container) if it.key != key]
+                was_present = (
+                    len(items) < leaf.item_count or key in leaf.large_refs
+                )
+                large_refs = dict(leaf.large_refs)
+                large_refs[key] = large
+                self._rebuild(leaf, items, large_refs)
+                if not was_present:
+                    self._item_count += 1
+                return
         if key not in leaf.large_refs:
             self._item_count += 1
         old_bytes = leaf.memory_bytes
@@ -298,14 +524,9 @@ class ZZone:
         items: List[KVItem],
         large_refs: Dict[bytes, LargeItem],
     ) -> None:
-        new = Block.build(
-            items,
-            self.compressor,
-            depth=old.depth,
-            prefix=old.prefix,
-            large_refs=large_refs,
+        new = self._build_block(
+            items, depth=old.depth, prefix=old.prefix, large_refs=large_refs
         )
-        self.stats.compressions += 1
         self._trie.replace_leaf(old, new)
         self._splice_replace(old, [new])
         self._recharge(old.memory_bytes, new.memory_bytes)
@@ -340,21 +561,18 @@ class ZZone:
         right_large = {
             k: v for k, v in large_refs.items() if (v.hashed_key >> bit_shift) & 1
         }
-        left = Block.build(
+        left = self._build_block(
             left_items,
-            self.compressor,
             depth=old.depth + 1,
             prefix=old.prefix * 2,
             large_refs=left_large,
         )
-        right = Block.build(
+        right = self._build_block(
             right_items,
-            self.compressor,
             depth=old.depth + 1,
             prefix=old.prefix * 2 + 1,
             large_refs=right_large,
         )
-        self.stats.compressions += 2
         self.stats.splits += 1
         self._trie.split_leaf(old, left, right)
         self._splice_replace(old, [left, right])
@@ -375,13 +593,17 @@ class ZZone:
         if key in leaf.large_refs:
             large_refs = dict(leaf.large_refs)
             del large_refs[key]
-            self.stats.decompressions += 1
-            items = leaf.items(self.compressor)
+            container = self._container_of(leaf)
+            if container is None:
+                return False  # quarantined whole; the key is gone either way
+            items = decode_items(container)
             self._rebuild(leaf, items, large_refs)
             self._item_count -= 1
             return True
-        self.stats.decompressions += 1
-        items = leaf.items(self.compressor)
+        container = self._container_of(leaf)
+        if container is None:
+            return False
+        items = decode_items(container)
         remaining = [it for it in items if it.key != key]
         if len(remaining) == len(items):
             self.stats.false_positives += 1
@@ -405,6 +627,12 @@ class ZZone:
     def _evict_to_fit(self) -> None:
         if self._used <= self.capacity:
             return
+        # Graceful degradation under severe pressure (e.g. an injected
+        # capacity squeeze): skip the Access Filter's protection outright
+        # and force-sweep until the zone fits again.
+        emergency = self._used - self.capacity > int(self.capacity * EMERGENCY_OVERAGE)
+        if emergency:
+            self.stats.emergency_sweeps += 1
         self._execute_pending_removals()
         visits_without_progress = 0
         while self._used > self.capacity:
@@ -413,7 +641,7 @@ class ZZone:
                 return
             self._hand = block.next_block
             self.stats.sweep_visits += 1
-            force = visits_without_progress > self._trie.block_count
+            force = emergency or visits_without_progress > self._trie.block_count
             progressed = self._sweep_block(block, force=force)
             progressed = self._maybe_merge_empty(block) or progressed
             if progressed:
@@ -449,10 +677,9 @@ class ZZone:
             left, right = (
                 (block, sibling) if block.prefix % 2 == 0 else (sibling, block)
             )
-            parent = Block.build(
-                [], self.compressor, depth=block.depth - 1, prefix=block.prefix // 2
+            parent = self._build_block(
+                [], depth=block.depth - 1, prefix=block.prefix // 2
             )
-            self.stats.compressions += 1
             trie_before = self._trie.memory_bytes
             self._trie.merge_leaves(left, right, parent)
             self._splice_remove(right)
@@ -475,6 +702,13 @@ class ZZone:
         all-hot zone).
         """
         freed = False
+        # Verify the container before touching any accounting: a damaged
+        # block is quarantined whole, which frees its bytes — progress.
+        container = None
+        if block.item_count > 0:
+            container = self._container_of(block)
+            if container is None:
+                return True
         # Large refs behave like one-item blocks with a reference bit.
         hot_large = {}
         for key, large in block.large_refs.items():
@@ -487,8 +721,7 @@ class ZZone:
                 self._item_count -= 1
                 freed = True
         if block.item_count > 0:
-            self.stats.decompressions += 1
-            items = block.items(self.compressor)
+            items = decode_items(container)
             if force or not self.use_access_filter:
                 candidates = list(range(len(items)))
             else:
@@ -532,13 +765,19 @@ class ZZone:
 
         Accounting-neutral: used by snapshots and debugging, so the
         decompressions are *not* charged to the stats the performance
-        model prices.
+        model prices.  Damaged blocks found along the way are quarantined
+        and skipped rather than crashing the iteration.
         """
         for leaf in list(self._trie.leaves()):
-            for item in leaf.items(self.compressor):
+            container = self._container_of(leaf, charge=False)
+            if container is None:
+                continue
+            for item in decode_items(container):
                 yield item.key, item.value
             for key, large in list(leaf.large_refs.items()):
-                yield key, self.compressor.decompress(large.compressed)
+                value = self._large_bytes(leaf, key, large, charge=False)
+                if value is not None:
+                    yield key, value
 
     def memory_usage(self) -> Dict[str, int]:
         """Byte breakdown: compressed items, metadata, index."""

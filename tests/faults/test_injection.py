@@ -1,0 +1,179 @@
+"""FaultInjector and FaultyCompressor behaviour, in isolation."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import CodecError
+from repro.compression import ZlibCompressor
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyCompressor,
+    InvariantAuditor,
+)
+from repro.zzone import ZZone
+
+
+def _plan(*specs, seed=0):
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+class TestDeterminism:
+    def test_same_plan_same_firings(self):
+        plan = FaultPlan.default(seed=5)
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            for position in range(2_000):
+                injector.on_request(position, clock=VirtualClock())
+                injector.maybe_fail_codec("codec.decompress")
+            runs.append((dict(injector.injected), list(injector.log)))
+        assert runs[0] == runs[1]
+
+    def test_sites_draw_independent_streams(self):
+        plan = _plan(
+            FaultSpec(site="codec.compress", rate=0.5),
+            FaultSpec(site="codec.decompress", rate=0.5),
+            seed=3,
+        )
+        injector = FaultInjector(plan)
+        compress_hits = [
+            injector.maybe_fail_codec("codec.compress") is not None
+            for _ in range(64)
+        ]
+        injector2 = FaultInjector(plan)
+        injector2.maybe_fail_codec("codec.decompress")  # perturb the other site
+        compress_hits2 = [
+            injector2.maybe_fail_codec("codec.compress") is not None
+            for _ in range(64)
+        ]
+        assert compress_hits == compress_hits2
+
+
+class TestWindowsAndLimits:
+    def test_limit_caps_firings(self):
+        plan = _plan(FaultSpec(site="clock.skew", rate=1.0, limit=3, magnitude=1.0))
+        injector = FaultInjector(plan)
+        clock = VirtualClock()
+        for position in range(100):
+            injector.on_request(position, clock=clock)
+        assert injector.injected["clock.skew"] == 3
+        assert clock.now() == 3.0
+
+    def test_window_gates_firings(self):
+        plan = _plan(
+            FaultSpec(site="clock.skew", rate=1.0, start=10, stop=12, magnitude=1.0)
+        )
+        injector = FaultInjector(plan)
+        for position in range(100):
+            injector.on_request(position, clock=VirtualClock())
+        assert injector.injected["clock.skew"] == 2
+        assert injector.log == [(10, "clock.skew"), (11, "clock.skew")]
+
+
+class TestBitFlip:
+    def _zone_with_items(self):
+        zone = ZZone(
+            1 << 20,
+            compressor=ZlibCompressor(),
+            block_capacity=512,
+            clock=VirtualClock(),
+        )
+        for i in range(12):
+            zone.put(b"key%02d" % i, b"x" * 40)
+        return zone
+
+    def test_flip_preserves_accounting_and_breaks_checksum(self):
+        zone = self._zone_with_items()
+        leaf = next(b for b in zone._trie.leaves() if b.item_count > 0)
+        injector = FaultInjector(_plan(FaultSpec(site="block.bitflip", rate=1.0)))
+        before_size = leaf.compressed.stored_size
+        before_memory = leaf.memory_bytes
+        injector.maybe_corrupt(leaf)
+        assert injector.injected["block.bitflip"] == 1
+        assert leaf.compressed.stored_size == before_size
+        assert leaf.memory_bytes == before_memory
+        assert not leaf.checksum_ok()
+        zone.check_invariants()  # accounting untouched by the flip
+
+    def test_empty_blocks_are_skipped(self):
+        zone = ZZone(
+            1 << 20, compressor=ZlibCompressor(), clock=VirtualClock()
+        )
+        root = zone._trie.find_leaf(0)
+        injector = FaultInjector(_plan(FaultSpec(site="block.bitflip", rate=1.0)))
+        injector.maybe_corrupt(root)
+        assert injector.injected["block.bitflip"] == 0
+        assert root.checksum_ok()
+
+
+class TestCapacitySqueeze:
+    def test_squeeze_and_restore(self):
+        class FakeCache:
+            pass
+
+        cache = FakeCache()
+        cache.zzone = ZZone(
+            1 << 20, compressor=ZlibCompressor(), clock=VirtualClock()
+        )
+        original = cache.zzone.capacity
+        plan = _plan(
+            FaultSpec(
+                site="capacity.squeeze",
+                rate=1.0,
+                limit=1,
+                magnitude=0.5,
+                duration=10,
+            )
+        )
+        injector = FaultInjector(plan)
+        injector.on_request(0, cache=cache)
+        assert cache.zzone.capacity == original // 2
+        injector.on_request(5, cache=cache)
+        assert cache.zzone.capacity == original // 2
+        injector.on_request(10, cache=cache)
+        assert cache.zzone.capacity == original
+
+
+class TestFaultyCompressor:
+    def test_error_mode_raises_codec_error(self):
+        injector = FaultInjector(
+            _plan(FaultSpec(site="codec.compress", rate=1.0, mode="error"))
+        )
+        codec = FaultyCompressor(ZlibCompressor(), injector)
+        with pytest.raises(CodecError):
+            codec.compress(b"payload")
+
+    def test_garbage_mode_returns_wrong_bytes(self):
+        injector = FaultInjector(
+            _plan(FaultSpec(site="codec.decompress", rate=1.0, mode="garbage"))
+        )
+        codec = FaultyCompressor(ZlibCompressor(), injector)
+        clean = ZlibCompressor().compress(b"hello world, hello world")
+        assert codec.decompress(clean) != b"hello world, hello world"
+
+    def test_no_faults_is_transparent(self):
+        injector = FaultInjector(_plan())
+        codec = FaultyCompressor(ZlibCompressor(), injector)
+        compressed = codec.compress(b"some data to round trip")
+        assert codec.decompress(compressed) == b"some data to round trip"
+        assert codec.inner.name == codec.name
+
+
+class TestInvariantAuditor:
+    def test_audits_on_interval(self):
+        class Counting:
+            checks = 0
+
+            def check_invariants(self):
+                Counting.checks += 1
+
+        auditor = InvariantAuditor(Counting(), interval=10)
+        for position in range(25):
+            auditor.on_request(position, 0)
+        assert auditor.audits == 3  # positions 0, 10, 20
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            InvariantAuditor(object(), interval=0)

@@ -30,6 +30,7 @@ class TestPublicApi:
         import repro.analysis
         import repro.compression
         import repro.core
+        import repro.faults
         import repro.memory
         import repro.nzone
         import repro.replacement
@@ -41,6 +42,7 @@ class TestPublicApi:
             repro.analysis,
             repro.compression,
             repro.core,
+            repro.faults,
             repro.memory,
             repro.nzone,
             repro.replacement,
@@ -50,3 +52,31 @@ class TestPublicApi:
         ):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
+
+    def test_exception_hierarchy(self):
+        """One base class catches everything; subtypes slot in sensibly."""
+        exported = (
+            repro.CacheError,
+            repro.ConfigurationError,
+            repro.CapacityError,
+            repro.ItemTooLargeError,
+            repro.IntegrityError,
+            repro.CorruptionDetectedError,
+            repro.CodecError,
+            repro.FaultPlanError,
+        )
+        for exc in exported:
+            assert issubclass(exc, repro.CacheError), exc
+        assert issubclass(repro.ItemTooLargeError, repro.CapacityError)
+        assert issubclass(repro.CorruptionDetectedError, repro.IntegrityError)
+        assert issubclass(repro.CodecError, repro.IntegrityError)
+        # Backward compat: corrupt-container callers catch ValueError.
+        assert issubclass(repro.CodecError, ValueError)
+        assert issubclass(repro.FaultPlanError, repro.ConfigurationError)
+
+    def test_exceptions_carry_context(self):
+        err = repro.CorruptionDetectedError(0x1234, 0x5678)
+        assert err.expected == 0x1234 and err.actual == 0x5678
+        assert "checksum" in str(err)
+        too_big = repro.ItemTooLargeError(b"k", 100, 10)
+        assert too_big.item_size == 100 and too_big.limit == 10

@@ -62,3 +62,50 @@ def test_content_filters_never_false_negative(keys):
         assert zone.maybe_contains(key)
         result = zone.get(key)
         assert result is not None and result[0] == b"v" * 32
+
+
+@given(data=st.data())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_single_bit_flip_is_detected(data):
+    """No single-bit payload corruption ever reaches a GET.
+
+    CRC32 detects every 1-bit error, so whichever bit flips, a GET of any
+    stored key must return either the true value or a miss — never wrong
+    bytes — and exactly one checksum failure + quarantine is recorded
+    once the damaged block is touched.
+    """
+    from repro.common.hashing import hash_key
+    from repro.compression.base import Compressed
+
+    zone = ZZone(
+        1 << 20,
+        compressor=ZlibCompressor(),
+        block_capacity=256,
+        clock=VirtualClock(),
+    )
+    expected = {}
+    for i in range(24):
+        key = b"bit%03d" % i
+        value = bytes([(i * 37) % 251]) * (16 + (i * 13) % 48)
+        zone.put(key, value)
+        expected[key] = value
+    leaves = [leaf for leaf in zone._trie.leaves() if leaf.item_count > 0]
+    leaf = data.draw(st.sampled_from(leaves))
+    payload = leaf.compressed.payload
+    bit = data.draw(st.integers(min_value=0, max_value=len(payload) * 8 - 1))
+    corrupted = bytearray(payload)
+    corrupted[bit // 8] ^= 1 << (bit % 8)
+    leaf.compressed = Compressed(
+        payload=bytes(corrupted), stored_size=leaf.compressed.stored_size
+    )
+    assert not leaf.checksum_ok()
+    for key, value in expected.items():
+        result = zone.get(key, hash_key(key))
+        assert result is None or result[0] == value
+    assert zone.stats.checksum_failures == 1
+    assert zone.stats.quarantined_blocks == 1
+    zone.check_invariants()
