@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Serving-layer wall-clock benchmark -> ``BENCH_server.json``.
+
+Times the asyncio memcached front-end over loopback: single-connection
+request round-trip latency (GET and SET), pooled-client concurrent
+throughput, and multi-GET batching.  Run it like the other wall-clock
+harness::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --scale smoke
+    PYTHONPATH=src python benchmarks/bench_server.py              # bench scale
+
+Results land in ``BENCH_server.json`` at the repo root (override with
+``--out``), one :class:`repro.analysis.benchjson.BenchRecord` per bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.benchjson import (
+    BenchRecord,
+    git_revision,
+    percentile,
+    write_records,
+)
+from repro.core.config import ZExpanderConfig
+from repro.core.sharded import ShardedZExpander
+from repro.server.client import MemcacheClient
+from repro.server.loadgen import expected_value, key_name
+from repro.server.server import CacheServer, ServerConfig
+
+SCALES = {
+    "smoke": {"ops": 2_000, "keys": 400},
+    "bench": {"ops": 10_000, "keys": 1_000},
+}
+
+
+async def _started_server(seed: int = 42):
+    cache = ShardedZExpander(
+        ZExpanderConfig(total_capacity=8 * 1024 * 1024, seed=seed),
+        num_shards=2,
+    )
+    server = CacheServer(cache, ServerConfig(port=0))
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def _populate(client: MemcacheClient, keys: int, seed: int) -> None:
+    for key_id in range(keys):
+        await client.set(key_name(0, key_id), expected_value(seed, 0, key_id, 1))
+
+
+def _record(name, config, samples_us, wall_s, ops):
+    return BenchRecord(
+        bench=name,
+        config=config,
+        ops_per_sec=ops / wall_s if wall_s > 0 else None,
+        p50_us=percentile(samples_us, 50) if samples_us else None,
+        p99_us=percentile(samples_us, 99) if samples_us else None,
+        wall_s=round(wall_s, 4),
+        git_rev=git_revision(),
+    )
+
+
+async def bench_get_rtt(ops: int, keys: int, seed: int) -> BenchRecord:
+    """Sequential single-key GET round-trips on one connection."""
+    server, task = await _started_server(seed)
+    client = MemcacheClient(port=server.port, pool_size=1)
+    await _populate(client, keys, seed)
+    samples = []
+    started = time.perf_counter()
+    for i in range(ops):
+        t0 = time.perf_counter()
+        await client.get(key_name(0, i % keys))
+        samples.append((time.perf_counter() - t0) * 1e6)
+    wall = time.perf_counter() - started
+    await client.close()
+    server.begin_drain()
+    await task
+    return _record(
+        "server_get_rtt", {"ops": ops, "keys": keys, "seed": seed}, samples,
+        wall, ops,
+    )
+
+
+async def bench_set_rtt(ops: int, keys: int, seed: int) -> BenchRecord:
+    """Sequential SET round-trips on one connection."""
+    server, task = await _started_server(seed)
+    client = MemcacheClient(port=server.port, pool_size=1)
+    samples = []
+    started = time.perf_counter()
+    for i in range(ops):
+        key_id = i % keys
+        value = expected_value(seed, 0, key_id, 1)
+        t0 = time.perf_counter()
+        await client.set(key_name(0, key_id), value)
+        samples.append((time.perf_counter() - t0) * 1e6)
+    wall = time.perf_counter() - started
+    await client.close()
+    server.begin_drain()
+    await task
+    return _record(
+        "server_set_rtt", {"ops": ops, "keys": keys, "seed": seed}, samples,
+        wall, ops,
+    )
+
+
+async def bench_pooled_throughput(
+    ops: int, keys: int, seed: int, workers: int = 8
+) -> BenchRecord:
+    """Concurrent GETs through one pooled client (the deployment shape)."""
+    server, task = await _started_server(seed)
+    client = MemcacheClient(port=server.port, pool_size=4)
+    await _populate(client, keys, seed)
+    per_worker = ops // workers
+
+    async def worker(worker_id: int) -> None:
+        for i in range(per_worker):
+            await client.get(key_name(0, (worker_id * per_worker + i) % keys))
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(w) for w in range(workers)))
+    wall = time.perf_counter() - started
+    await client.close()
+    server.begin_drain()
+    await task
+    return _record(
+        "server_pooled_throughput",
+        {"ops": per_worker * workers, "keys": keys, "seed": seed,
+         "workers": workers, "pool_size": 4},
+        [], wall, per_worker * workers,
+    )
+
+
+async def bench_multiget_batch(
+    ops: int, keys: int, seed: int, batch: int = 16
+) -> BenchRecord:
+    """Batched multi-GET: ``batch`` keys per request round-trip."""
+    server, task = await _started_server(seed)
+    client = MemcacheClient(port=server.port, pool_size=1)
+    await _populate(client, keys, seed)
+    rounds = max(1, ops // batch)
+    samples = []
+    started = time.perf_counter()
+    for i in range(rounds):
+        names = [key_name(0, (i * batch + j) % keys) for j in range(batch)]
+        t0 = time.perf_counter()
+        await client.get_many(names)
+        samples.append((time.perf_counter() - t0) * 1e6)
+    wall = time.perf_counter() - started
+    await client.close()
+    server.begin_drain()
+    await task
+    return _record(
+        "server_multiget_batch",
+        {"ops": rounds * batch, "keys": keys, "seed": seed, "batch": batch},
+        samples, wall, rounds * batch,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_server.json"), metavar="PATH"
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    async def run_all():
+        records = []
+        for bench in (
+            bench_get_rtt,
+            bench_set_rtt,
+            bench_pooled_throughput,
+            bench_multiget_batch,
+        ):
+            record = await bench(scale["ops"], scale["keys"], args.seed)
+            records.append(record)
+            rtt = (
+                f" p50={record.p50_us:.0f}us p99={record.p99_us:.0f}us"
+                if record.p50_us is not None
+                else ""
+            )
+            print(
+                f"{record.bench}: {record.ops_per_sec:,.0f} ops/s"
+                f"{rtt} ({record.wall_s:.2f}s)"
+            )
+        return records
+
+    records = asyncio.run(run_all())
+    write_records(records, Path(args.out))
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,19 +25,29 @@ from repro.common.errors import (
     CapacityError,
     CodecError,
     ConfigurationError,
+    ConnectionDrainingError,
     CorruptionDetectedError,
     FaultPlanError,
     IntegrityError,
     ItemTooLargeError,
+    ProtocolError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    ServingError,
 )
 from repro.common.records import KVItem, Operation, Request
 from repro.common.units import GB, KB, MB, format_bytes, parse_size
 from repro.core import (
+    LoadResult,
+    ShardedZExpander,
     SimpleKVCache,
+    SnapshotError,
     ZExpander,
     ZExpanderConfig,
     ZExpanderStats,
+    load_snapshot,
     replay_trace,
+    write_snapshot,
 )
 from repro.compression import (
     LZ4Compressor,
@@ -59,6 +69,7 @@ __all__ = [
     "CapacityError",
     "CodecError",
     "ConfigurationError",
+    "ConnectionDrainingError",
     "CorruptionDetectedError",
     "FaultInjector",
     "FaultPlan",
@@ -69,13 +80,20 @@ __all__ = [
     "ItemTooLargeError",
     "KVItem",
     "LZ4Compressor",
+    "LoadResult",
     "MemcachedZone",
     "ModelCompressor",
     "NullCompressor",
     "Operation",
     "PlainZone",
+    "ProtocolError",
     "Request",
+    "RequestTimeoutError",
+    "ServerOverloadedError",
+    "ServingError",
+    "ShardedZExpander",
     "SimpleKVCache",
+    "SnapshotError",
     "VirtualClock",
     "ZExpander",
     "ZExpanderConfig",
@@ -83,7 +101,9 @@ __all__ = [
     "ZZone",
     "ZlibCompressor",
     "format_bytes",
+    "load_snapshot",
     "parse_size",
     "replay_trace",
+    "write_snapshot",
     "__version__",
 ]

@@ -61,3 +61,41 @@ class CodecError(IntegrityError, ValueError):
 
 class FaultPlanError(ConfigurationError):
     """A fault-injection plan is malformed (unknown site, bad rates)."""
+
+
+class ServingError(CacheError):
+    """Base class for errors raised by the serving layer (:mod:`repro.server`).
+
+    These are *operational* conditions, not cache defects: a healthy
+    client is expected to catch them and retry (with backoff), fail over,
+    or surface the condition to its own caller.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """The server shed the request (``SERVER_ERROR overloaded``).
+
+    Raised client-side when the admission controller refuses work instead
+    of queuing it unboundedly.  Retrying immediately makes the overload
+    worse; the pooled client retries with exponential backoff + jitter.
+    """
+
+
+class RequestTimeoutError(ServingError, TimeoutError):
+    """A request missed its client-side deadline.
+
+    Also a built-in :class:`TimeoutError` so generic timeout handling
+    (``except TimeoutError``) keeps working.
+    """
+
+
+class ConnectionDrainingError(ServingError):
+    """The server is draining (``SERVER_ERROR draining``) and will exit.
+
+    New work is refused while inflight requests finish; clients should
+    reconnect elsewhere (or wait for the replacement process).
+    """
+
+
+class ProtocolError(ServingError):
+    """The peer sent bytes that do not parse as memcached text protocol."""

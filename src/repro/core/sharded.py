@@ -77,6 +77,22 @@ class ShardedZExpander:
     def __contains__(self, key: bytes) -> bool:
         return key in self.shard_for(key)
 
+    def routes_to_zzone(self, key: bytes) -> bool:
+        """Content-Filter pre-check on the owning shard (no side effects)."""
+        return self.shard_for(key).routes_to_zzone(key)
+
+    def items(self):
+        """All resident (key, value) pairs, coldest first.
+
+        Z-zone items across every shard come before any N-zone items, so
+        a snapshot replayed in order re-forms the fleet's hot/cold split
+        the same way a single instance's does.
+        """
+        for shard in self.shards:
+            yield from shard.zzone.items()
+        for shard in self.shards:
+            yield from shard.nzone.items()
+
     # -- aggregation -------------------------------------------------------------
 
     @property

@@ -10,14 +10,22 @@ Format (version 1): an 8-byte magic header, then per item a 4-byte
 big-endian key length, 4-byte value length, key bytes, value bytes.  No
 pickling — the format is independent of Python versions and safe to load
 from untrusted sources (lengths are bounds-checked).
+
+Crash safety: writing to a path goes through ``<path>.tmp`` with a
+flush+fsync before an atomic ``os.replace``, so a crash mid-dump can
+leave a stale or absent snapshot at the final path but never a truncated
+one.  Loading with ``strict=False`` tolerates a truncated *tail* anyway
+(e.g. a snapshot taken through a bare stream, or torn storage): the
+partial trailing record is counted and skipped, and warm restart degrades
+to a partial warm cache instead of refusing to start.
 """
 
 from __future__ import annotations
 
-import io
+import os
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterator, Tuple, Union
+from typing import BinaryIO, Iterator, Optional, Tuple, Union
 
 MAGIC = b"ZXSNAP01"
 _LENGTHS = struct.Struct(">II")
@@ -32,12 +40,13 @@ class SnapshotError(Exception):
 
 
 def _iter_cache_items(cache) -> Iterator[Tuple[bytes, bytes]]:
-    """Items of a SimpleKVCache, ZExpander, or bare zone.
+    """Items of a SimpleKVCache, ZExpander, sharded cache, or bare zone.
 
     For a two-zone cache the Z-zone is written first and the N-zone
     last: loading replays the file in order, so the hot N-zone items are
     the most recent inserts and re-form the N-zone's contents instead of
-    being demoted by later traffic.
+    being demoted by later traffic.  Sharded caches provide their own
+    ``items()`` with the same cold-first ordering across shards.
     """
     zzone = getattr(cache, "zzone", None)
     if zzone is not None:
@@ -50,11 +59,32 @@ def _iter_cache_items(cache) -> Iterator[Tuple[bytes, bytes]]:
 
 
 def write_snapshot(cache, destination: Union[PathLike, BinaryIO]) -> int:
-    """Serialise ``cache``'s items; returns the item count written."""
+    """Serialise ``cache``'s items; returns the item count written.
+
+    Writing to a *path* is crash-safe: the bytes land in
+    ``<destination>.tmp`` first, are flushed and fsynced, and only then
+    atomically renamed over the final path.  A crash at any point leaves
+    either the previous snapshot or none — never a truncated file at the
+    final path.  Writing to an already-open stream is left to the caller.
+    """
     if hasattr(destination, "write"):
         return _write_stream(cache, destination)
-    with open(destination, "wb") as stream:
-        return _write_stream(cache, stream)
+    final = os.fspath(destination)
+    tmp = final + ".tmp"
+    try:
+        with open(tmp, "wb") as stream:
+            count = _write_stream(cache, stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        # Best-effort cleanup; the final path was never touched.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return count
 
 
 def _write_stream(cache, stream: BinaryIO) -> int:
@@ -68,46 +98,115 @@ def _write_stream(cache, stream: BinaryIO) -> int:
     return count
 
 
-def read_snapshot(source: Union[PathLike, BinaryIO]) -> Iterator[Tuple[bytes, bytes]]:
-    """Yield (key, value) pairs from a snapshot; validates the format."""
+class LoadResult(int):
+    """Item count loaded, as an ``int``, plus recovery detail.
+
+    Subclasses ``int`` so pre-existing callers comparing the return of
+    :func:`load_snapshot` against a number keep working; new callers read
+    ``loaded``, ``skipped``, and ``error`` for the recovery story.
+    """
+
+    loaded: int
+    skipped: int
+    error: Optional[str]
+
+    def __new__(
+        cls, loaded: int, skipped: int = 0, error: Optional[str] = None
+    ) -> "LoadResult":
+        self = super().__new__(cls, loaded)
+        self.loaded = loaded
+        self.skipped = skipped
+        self.error = error
+        return self
+
+    @property
+    def truncated(self) -> bool:
+        return self.error is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadResult(loaded={self.loaded}, skipped={self.skipped}, "
+            f"error={self.error!r})"
+        )
+
+
+def read_snapshot(
+    source: Union[PathLike, BinaryIO], strict: bool = True
+) -> Iterator[Tuple[bytes, bytes]]:
+    """Yield (key, value) pairs from a snapshot; validates the format.
+
+    With ``strict=False`` a malformed *tail* (truncated header or body,
+    implausible lengths) ends the iteration instead of raising; a bad
+    magic still raises — a file that never was a snapshot should not
+    silently load as an empty one.
+    """
+    sink: list = []
     if hasattr(source, "read"):
-        yield from _read_stream(source)
+        yield from _read_stream(source, strict, sink)
         return
     with open(source, "rb") as stream:
-        yield from _read_stream(stream)
+        yield from _read_stream(stream, strict, sink)
 
 
-def _read_stream(stream: BinaryIO) -> Iterator[Tuple[bytes, bytes]]:
+def _read_stream(
+    stream: BinaryIO, strict: bool = True, damage: Optional[list] = None
+) -> Iterator[Tuple[bytes, bytes]]:
+    """Core reader; appends one error string to ``damage`` on a bad tail."""
     magic = stream.read(len(MAGIC))
     if magic != MAGIC:
         raise SnapshotError(f"bad snapshot magic: {magic!r}")
+
+    def fail(message: str):
+        if strict:
+            raise SnapshotError(message)
+        if damage is not None:
+            damage.append(message)
+
     while True:
         header = stream.read(_LENGTHS.size)
         if not header:
             return
         if len(header) != _LENGTHS.size:
-            raise SnapshotError("truncated item header")
+            fail("truncated item header")
+            return
         key_len, value_len = _LENGTHS.unpack(header)
         if key_len > _MAX_FIELD or value_len > _MAX_FIELD:
-            raise SnapshotError(
-                f"implausible field lengths {key_len}/{value_len}"
-            )
+            fail(f"implausible field lengths {key_len}/{value_len}")
+            return
         key = stream.read(key_len)
         value = stream.read(value_len)
         if len(key) != key_len or len(value) != value_len:
-            raise SnapshotError("truncated item body")
+            fail("truncated item body")
+            return
         yield key, value
 
 
-def load_snapshot(cache, source: Union[PathLike, BinaryIO]) -> int:
+def load_snapshot(
+    cache, source: Union[PathLike, BinaryIO], strict: bool = True
+) -> LoadResult:
     """Re-insert a snapshot's items into ``cache``; returns the count.
 
     Items are SET in file order (cold Z-zone items first, hot N-zone
     items last) so a two-zone cache re-forms roughly the same hot/cold
     split it had at dump time.
+
+    ``strict=False`` is the warm-restart recovery mode: a truncated tail
+    stops the load instead of raising, the partial record is counted in
+    the result's ``skipped``, and the cache comes up partially warm.  The
+    return value is an ``int`` (items loaded) carrying ``loaded`` /
+    ``skipped`` / ``error`` attributes.
     """
+    damage: list = []
     count = 0
-    for key, value in read_snapshot(source):
-        cache.set(key, value)
-        count += 1
-    return count
+    if hasattr(source, "read"):
+        iterator = _read_stream(source, strict, damage)
+        for key, value in iterator:
+            cache.set(key, value)
+            count += 1
+    else:
+        with open(source, "rb") as stream:
+            for key, value in _read_stream(stream, strict, damage):
+                cache.set(key, value)
+                count += 1
+    error = damage[0] if damage else None
+    return LoadResult(count, skipped=1 if error else 0, error=error)

@@ -165,6 +165,17 @@ class ZExpander:
             return False
         return key in self.nzone or self.zzone.maybe_contains(key)
 
+    def routes_to_zzone(self, key: bytes) -> bool:
+        """Would a GET for ``key`` fall through to the Z-zone path?
+
+        A Content-Filter pre-check with no recency or stats side effects:
+        true when the key is absent from the N-zone, so serving it means
+        Z-zone work (a decompression on a hit, a filter probe on a miss).
+        The serving layer's load shedder uses this to drop expensive
+        Z-zone-destined work first and keep the cheap N-zone path alive.
+        """
+        return key not in self.nzone and self.zzone.maybe_contains(key)
+
     @property
     def item_count(self) -> int:
         return self.nzone.item_count + self.zzone.item_count

@@ -6,12 +6,19 @@ Usage::
     python -m repro.experiments.cli run fig05 tab02
     python -m repro.experiments.cli run all --keys 8000 --requests 160000
     python -m repro.experiments.cli chaos --seed 7
+    python -m repro.experiments.cli chaos --server --seed 7
+    python -m repro.experiments.cli serve --port 11311 --snapshot cache.snap
+    python -m repro.experiments.cli loadgen --port 11311 --requests 4000
 
 Each experiment prints the same rows/series the paper reports; scale
 flags shrink runs for quick looks (committed bench outputs use the
 default scale).  ``chaos`` replays a workload under a seeded fault plan
 and exits nonzero if the cache crashed, broke an invariant, missed an
-injected corruption, or degraded disproportionately.
+injected corruption, or degraded disproportionately; ``chaos --server``
+runs the same discipline over a real TCP serving path (wire faults,
+drain, snapshot, warm restart, overload shedding).  ``serve`` runs the
+memcached-protocol server (SIGTERM drains gracefully); ``loadgen``
+drives one with seeded, self-verifying traffic.
 """
 
 from __future__ import annotations
@@ -109,6 +116,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the clean twin replay (faster; disables the degradation bound)",
     )
+    chaos_parser.add_argument(
+        "--server",
+        action="store_true",
+        help="run the chaos discipline over a real TCP serving path "
+        "(wire faults, drain, snapshot, restart, overload shedding)",
+    )
+    chaos_parser.add_argument(
+        "--connections",
+        type=int,
+        default=4,
+        help="concurrent loadgen connections (--server mode only)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the memcached-protocol server over a sharded zExpander"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=11311)
+    serve_parser.add_argument(
+        "--capacity", type=int, default=64 * 1024 * 1024, help="total cache bytes"
+    )
+    serve_parser.add_argument("--shards", type=int, default=4)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="warm-load at start; written crash-safely on graceful drain",
+    )
+    serve_parser.add_argument("--read-timeout", type=float, default=30.0)
+    serve_parser.add_argument("--drain-deadline", type=float, default=5.0)
+    serve_parser.add_argument("--audit-interval", type=int, default=0)
+    serve_parser.add_argument(
+        "--clock",
+        choices=("tick", "wall"),
+        default="tick",
+        help="cache clock: deterministic per-command ticks, or wall time "
+        "(real TTL semantics)",
+    )
+    serve_parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan armed on the cache (chaos demos)",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="drive a server with seeded, self-verifying traffic"
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=11311)
+    loadgen_parser.add_argument("--connections", type=int, default=4)
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=4_000, help="requests per connection"
+    )
+    loadgen_parser.add_argument(
+        "--keys", type=int, default=200, help="key-space size per connection"
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument("--deadline", type=float, default=2.0)
+    loadgen_parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="JSON fault plan; its conn.* sites fire on the client side",
+    )
+    loadgen_parser.add_argument(
+        "--assume-warm",
+        action="store_true",
+        help="don't flag hits on keys this run never wrote (use against a "
+        "restarted/pre-populated server)",
+    )
     return parser
 
 
@@ -125,19 +204,42 @@ def run_experiment(name: str, scale: Scale) -> None:
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
 
-def run_chaos_command(args) -> int:
+def _load_plan(path):
+    """Load a JSON fault plan, or exit code 2 on a bad file."""
     from repro.common.errors import FaultPlanError
-    from repro.faults.chaos import run_chaos
     from repro.faults.plan import FaultPlan
 
+    if not path:
+        return None
     try:
-        plan = FaultPlan.load(args.plan) if args.plan else None
+        return FaultPlan.load(path)
     except OSError as exc:
-        print(f"error: cannot read fault plan {args.plan!r}: {exc}", file=sys.stderr)
-        return 2
+        print(f"error: cannot read fault plan {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     except (FaultPlanError, ValueError) as exc:
-        print(f"error: invalid fault plan {args.plan!r}: {exc}", file=sys.stderr)
-        return 2
+        print(f"error: invalid fault plan {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def run_chaos_command(args) -> int:
+    from repro.faults.chaos import run_chaos
+
+    plan = _load_plan(args.plan)
+    if args.server:
+        from repro.server.chaos import run_server_chaos
+
+        report = run_server_chaos(
+            seed=args.seed,
+            connections=args.connections,
+            requests_per_conn=max(1, args.requests // args.connections),
+            keys_per_conn=max(1, args.keys // args.connections),
+            plan=plan,
+        )
+        print(report.render())
+        # Timing-dependent observables go to stderr so stdout stays
+        # byte-identical across same-seed runs (CI diffs it).
+        print(report.render_metrics(), file=sys.stderr)
+        return 0 if report.ok else 1
     report = run_chaos(
         workload=args.workload,
         num_keys=args.keys,
@@ -152,10 +254,100 @@ def run_chaos_command(args) -> int:
     return 0 if report.ok else 1
 
 
+def run_serve_command(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.config import ZExpanderConfig
+    from repro.core.sharded import ShardedZExpander
+    from repro.server import CacheServer, ServerConfig
+
+    plan = _load_plan(args.plan)
+    cache = ShardedZExpander(
+        ZExpanderConfig(
+            total_capacity=args.capacity, seed=args.seed, fault_plan=plan
+        ),
+        num_shards=args.shards,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        read_timeout=args.read_timeout,
+        drain_deadline=args.drain_deadline,
+        snapshot_path=args.snapshot,
+        audit_interval=args.audit_interval,
+        clock_mode=args.clock,
+    )
+
+    async def serve() -> int:
+        server = CacheServer(cache, config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.begin_drain)
+        if server.stats.snapshot_loaded:
+            print(
+                f"warm start: {server.stats.snapshot_loaded} items restored "
+                f"({server.stats.snapshot_skipped} skipped)",
+                flush=True,
+            )
+        print(
+            f"serving memcached protocol on {config.host}:{server.port} "
+            f"(shards={args.shards}, capacity={args.capacity}) — "
+            "SIGTERM drains gracefully",
+            flush=True,
+        )
+        code = await server.run()
+        for incident in server.incidents:
+            print(f"incident: {incident}", file=sys.stderr)
+        print(
+            f"drained: {server.stats.commands} commands served, "
+            f"{server.stats.snapshot_written} items snapshotted, exit {code}",
+            flush=True,
+        )
+        return code
+
+    return asyncio.run(serve())
+
+
+def run_loadgen_command(args) -> int:
+    import asyncio
+
+    from repro.server.loadgen import LoadConfig, run_loadgen
+
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        connections=args.connections,
+        requests_per_conn=args.requests,
+        keys_per_conn=args.keys,
+        seed=args.seed,
+        plan=_load_plan(args.plan),
+        deadline=args.deadline,
+        verify_unwritten=not args.assume_warm,
+    )
+    try:
+        report = asyncio.run(run_loadgen(config))
+    except ConnectionRefusedError:
+        print(
+            f"error: no server at {args.host}:{args.port} (start one with "
+            "'serve')",
+            file=sys.stderr,
+        )
+        return 2
+    print(report.render())
+    print(report.render_metrics())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "chaos":
         return run_chaos_command(args)
+    if args.command == "serve":
+        return run_serve_command(args)
+    if args.command == "loadgen":
+        return run_loadgen_command(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_module, description) in EXPERIMENTS.items():

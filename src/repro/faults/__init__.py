@@ -14,10 +14,11 @@ The package splits cleanly in two:
 from repro.faults.auditor import InvariantAuditor
 from repro.faults.codec import FaultyCompressor
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import SITES, FaultPlan, FaultSpec
+from repro.faults.plan import SITES, WIRE_SITES, FaultPlan, FaultSpec
 
 __all__ = [
     "SITES",
+    "WIRE_SITES",
     "FaultPlan",
     "FaultSpec",
     "FaultInjector",

@@ -26,6 +26,18 @@ Injection sites
 ``clock.skew``
     Jump the virtual clock forward by ``magnitude`` seconds.  Exercises
     expiry, marker, and adaptation timing under time anomalies.
+``conn.reset``
+    Serving-layer site: abruptly close the TCP connection mid-request
+    (possibly mid-``set`` data block).  Exercises the server's partial
+    frame handling and accounting under abrupt disconnects.
+``conn.stall``
+    Serving-layer site: stop sending mid-request for ``magnitude``
+    seconds.  Exercises the server's per-connection read timeout and
+    slow-client isolation.
+
+The ``conn.*`` sites are applied by the load generator's wire-fault
+arm (:mod:`repro.server.loadgen`); the in-process :class:`FaultInjector`
+ignores them — there is no connection to break in a library replay.
 """
 
 from __future__ import annotations
@@ -43,7 +55,12 @@ SITES = (
     "codec.decompress",
     "capacity.squeeze",
     "clock.skew",
+    "conn.reset",
+    "conn.stall",
 )
+
+#: Sites applied on the wire by the serving layer, not the cache core.
+WIRE_SITES = ("conn.reset", "conn.stall")
 
 #: Sites where ``mode`` selects the failure flavour.
 _CODEC_SITES = ("codec.compress", "codec.decompress")
@@ -104,6 +121,10 @@ class FaultSpec:
             raise FaultPlanError(
                 f"skew magnitude must be >= 0, got {self.magnitude}"
             )
+        elif self.site == "conn.stall" and self.magnitude <= 0:
+            raise FaultPlanError(
+                f"stall magnitude (seconds) must be positive, got {self.magnitude}"
+            )
 
     def active_at(self, position: int) -> bool:
         """Whether this spec's window covers request ``position``."""
@@ -121,7 +142,7 @@ class FaultSpec:
             out["limit"] = self.limit
         if self.site in _CODEC_SITES:
             out["mode"] = self.mode
-        if self.site in ("capacity.squeeze", "clock.skew"):
+        if self.site in ("capacity.squeeze", "clock.skew", "conn.stall"):
             out["magnitude"] = self.magnitude
         if self.site == "capacity.squeeze":
             out["duration"] = self.duration
@@ -226,7 +247,12 @@ class FaultPlan:
 
     @classmethod
     def default(cls, seed: int = 0) -> "FaultPlan":
-        """The standard chaos mix: every site, modest rates."""
+        """The standard chaos mix: every cache-level site, modest rates.
+
+        Wire sites (``conn.*``) only make sense over a real socket; the
+        serving-path equivalent including them is
+        :func:`repro.server.chaos.default_server_plan`.
+        """
         return cls(
             seed=seed,
             specs=(

@@ -1,0 +1,61 @@
+"""Serving layer: memcached-protocol server, client, loadgen, chaos.
+
+The package turns the library cache into an operable network service.
+``repro.server`` holds the asyncio front-end (:class:`CacheServer`), the
+admission controller with its overload state machine, a pooled client
+with deadlines and jittered retries, a seeded self-verifying load
+generator, and the over-the-wire chaos driver that exercises the whole
+lifecycle (faulted traffic, drain, snapshot, warm restart, overload).
+"""
+
+from repro.server.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+    ServerState,
+    TickClock,
+    TokenBucket,
+)
+from repro.server.chaos import (
+    ServerChaosReport,
+    default_server_plan,
+    run_server_chaos,
+)
+from repro.server.client import MemcacheClient, RetryPolicy
+from repro.server.loadgen import LoadConfig, LoadReport, run_loadgen
+from repro.server.protocol import (
+    DEFAULT_MAX_VALUE_BYTES,
+    MAX_KEY_BYTES,
+    BadCommand,
+    Command,
+    RequestParser,
+    valid_key,
+)
+from repro.server.server import TICK_SECONDS, CacheServer, ServerConfig, ServerStats
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
+    "BadCommand",
+    "CacheServer",
+    "Command",
+    "DEFAULT_MAX_VALUE_BYTES",
+    "LoadConfig",
+    "LoadReport",
+    "MAX_KEY_BYTES",
+    "MemcacheClient",
+    "RequestParser",
+    "RetryPolicy",
+    "ServerChaosReport",
+    "ServerConfig",
+    "ServerState",
+    "ServerStats",
+    "TICK_SECONDS",
+    "TickClock",
+    "TokenBucket",
+    "default_server_plan",
+    "run_loadgen",
+    "run_server_chaos",
+    "valid_key",
+]

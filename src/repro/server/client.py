@@ -1,0 +1,331 @@
+"""Pooled asyncio memcached client with deadlines and jittered retry.
+
+The client mirrors the server's robustness posture from the other side
+of the wire:
+
+* **Connection pooling** — up to ``pool_size`` persistent connections,
+  created lazily, recycled on success, discarded on any error (a broken
+  connection must never be returned to the pool).
+* **Per-request deadlines** — the whole request (acquire, write, read)
+  runs under one ``asyncio.wait_for``; a missed deadline surfaces as
+  :class:`~repro.common.errors.RequestTimeoutError`.
+* **Retry with exponential backoff + full jitter** — transient failures
+  (connection reset, timeout, ``SERVER_ERROR overloaded``/``draining``)
+  are retried with ``sleep ~ U(0, min(cap, base * 2**attempt))``, the
+  AWS-style full-jitter schedule that avoids synchronized retry storms.
+  The jitter RNG is injectable, so tests and chaos runs stay seeded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import (
+    ConnectionDrainingError,
+    ProtocolError,
+    RequestTimeoutError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.server.protocol import CRLF, valid_key
+
+#: Errors worth retrying: the next attempt may land on a healthy
+#: connection (or a restarted server).
+_RETRYABLE = (
+    ConnectionError,
+    ConnectionDrainingError,
+    ServerOverloadedError,
+    asyncio.IncompleteReadError,
+    EOFError,
+    OSError,
+)
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with full jitter."""
+
+    max_attempts: int = 4
+    backoff_base: float = 0.02
+    backoff_cap: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry ``attempt`` (1-based): full jitter."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return rng.uniform(0.0, ceiling)
+
+
+class _Connection:
+    """One raw protocol connection (no pooling, no retries)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "_Connection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+    async def round_trip(self, request: bytes) -> bytes:
+        self.writer.write(request)
+        await self.writer.drain()
+        return await self.reader.readline()
+
+    async def read_line(self) -> bytes:
+        line = await self.reader.readline()
+        if not line:
+            raise EOFError("connection closed by server")
+        return line
+
+    async def read_exactly(self, count: int) -> bytes:
+        return await self.reader.readexactly(count)
+
+
+def _raise_for_error_line(line: bytes) -> None:
+    """Map a protocol error line to the exception taxonomy."""
+    if line.startswith(b"SERVER_ERROR"):
+        message = line[len(b"SERVER_ERROR ") :].strip().decode("ascii", "replace")
+        if "overloaded" in message:
+            raise ServerOverloadedError(message)
+        if "draining" in message:
+            raise ConnectionDrainingError(message)
+        raise ServingError(message)
+    if line.startswith(b"CLIENT_ERROR") or line.startswith(b"ERROR"):
+        raise ProtocolError(line.strip().decode("ascii", "replace"))
+
+
+class MemcacheClient:
+    """High-level pooled client; all public methods are coroutine-safe."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 11311,
+        pool_size: int = 4,
+        deadline: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.host = host
+        self.port = port
+        self.deadline = deadline
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = rng if rng is not None else random.Random()
+        # LIFO keeps hot connections hot; slots start as None = "create".
+        self._pool: asyncio.LifoQueue = asyncio.LifoQueue(pool_size)
+        for _ in range(pool_size):
+            self._pool.put_nowait(None)
+
+    # -- pool ------------------------------------------------------------------
+
+    async def _acquire(self) -> _Connection:
+        slot = await self._pool.get()
+        if slot is not None:
+            return slot
+        try:
+            return await _Connection.open(self.host, self.port)
+        except BaseException:
+            self._pool.put_nowait(None)
+            raise
+
+    def _release(self, conn: _Connection, healthy: bool) -> None:
+        if healthy:
+            self._pool.put_nowait(conn)
+        else:
+            conn.close()
+            self._pool.put_nowait(None)
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        drained = []
+        while not self._pool.empty():
+            drained.append(self._pool.get_nowait())
+        for slot in drained:
+            if slot is not None:
+                slot.close()
+            self._pool.put_nowait(None)
+
+    # -- request machinery -----------------------------------------------------
+
+    async def _call(self, op):
+        """Run ``op(conn)`` with pooling, a deadline, and jittered retry."""
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            conn = await self._acquire()
+            healthy = False
+            try:
+                result = await asyncio.wait_for(op(conn), self.deadline)
+                healthy = True
+                return result
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                last_error = RequestTimeoutError(
+                    f"request missed its {self.deadline}s deadline"
+                )
+            except ServerOverloadedError as exc:
+                # The server answered; the connection itself is fine.
+                healthy = True
+                last_error = exc
+            except ConnectionDrainingError as exc:
+                last_error = exc
+            except _RETRYABLE as exc:
+                last_error = exc
+            finally:
+                self._release(conn, healthy)
+            if attempt < self.retry.max_attempts:
+                await asyncio.sleep(self.retry.delay(attempt, self._rng))
+        assert last_error is not None
+        raise last_error
+
+    # -- protocol operations ---------------------------------------------------
+
+    async def get(self, key: bytes) -> Optional[bytes]:
+        values = await self.get_many([key])
+        return values.get(key)
+
+    async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
+        """Multi-key GET; absent keys are simply missing from the result."""
+        request = self._get_request(b"get", keys)
+
+        async def op(conn: _Connection) -> Dict[bytes, bytes]:
+            conn.writer.write(request)
+            await conn.writer.drain()
+            out: Dict[bytes, bytes] = {}
+            async for key, value, _cas in self._read_values(conn):
+                out[key] = value
+            return out
+
+        return await self._call(op)
+
+    async def gets(self, key: bytes) -> Optional[Tuple[bytes, int]]:
+        """GET with a cas token; None on miss."""
+        request = self._get_request(b"gets", [key])
+
+        async def op(conn: _Connection):
+            conn.writer.write(request)
+            await conn.writer.drain()
+            result = None
+            # Consume the whole reply (through END) so the connection
+            # goes back to the pool with nothing buffered.
+            async for got, value, cas in self._read_values(conn):
+                if got == key:
+                    result = (value, cas)
+            return result
+
+        return await self._call(op)
+
+    async def set(self, key: bytes, value: bytes, ttl: float = 0.0) -> bool:
+        self._check_key(key)
+        request = (
+            b"set %s 0 %d %d" % (key, int(ttl), len(value))
+            + CRLF
+            + value
+            + CRLF
+        )
+
+        async def op(conn: _Connection) -> bool:
+            conn.writer.write(request)
+            await conn.writer.drain()
+            line = await conn.read_line()
+            if line.rstrip() == b"STORED":
+                return True
+            _raise_for_error_line(line)
+            return False
+
+        return await self._call(op)
+
+    async def delete(self, key: bytes) -> bool:
+        self._check_key(key)
+        request = b"delete %s" % key + CRLF
+
+        async def op(conn: _Connection) -> bool:
+            conn.writer.write(request)
+            await conn.writer.drain()
+            line = (await conn.read_line()).rstrip()
+            if line == b"DELETED":
+                return True
+            if line == b"NOT_FOUND":
+                return False
+            _raise_for_error_line(line + CRLF)
+            raise ProtocolError(f"unexpected delete reply {line!r}")
+
+        return await self._call(op)
+
+    async def stats(self) -> Dict[str, str]:
+        async def op(conn: _Connection) -> Dict[str, str]:
+            conn.writer.write(b"stats" + CRLF)
+            await conn.writer.drain()
+            out: Dict[str, str] = {}
+            while True:
+                line = (await conn.read_line()).rstrip()
+                if line == b"END":
+                    return out
+                if not line.startswith(b"STAT "):
+                    _raise_for_error_line(line + CRLF)
+                    raise ProtocolError(f"unexpected stats line {line!r}")
+                _stat, name, value = line.split(b" ", 2)
+                out[name.decode("ascii")] = value.decode("ascii")
+
+        return await self._call(op)
+
+    async def version(self) -> str:
+        async def op(conn: _Connection) -> str:
+            conn.writer.write(b"version" + CRLF)
+            await conn.writer.drain()
+            line = (await conn.read_line()).rstrip()
+            if line.startswith(b"VERSION "):
+                return line[len(b"VERSION ") :].decode("ascii")
+            _raise_for_error_line(line + CRLF)
+            raise ProtocolError(f"unexpected version reply {line!r}")
+
+        return await self._call(op)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not valid_key(key):
+            raise ProtocolError(f"invalid key {key!r}")
+
+    def _get_request(self, verb: bytes, keys: Sequence[bytes]) -> bytes:
+        if not keys:
+            raise ValueError("need at least one key")
+        for key in keys:
+            self._check_key(key)
+        return verb + b" " + b" ".join(keys) + CRLF
+
+    async def _read_values(self, conn: _Connection):
+        """Yield (key, value, cas) from VALUE blocks until END."""
+        while True:
+            line = (await conn.read_line()).rstrip()
+            if line == b"END":
+                return
+            if not line.startswith(b"VALUE "):
+                _raise_for_error_line(line + CRLF)
+                raise ProtocolError(f"unexpected reply line {line!r}")
+            parts = line.split(b" ")
+            if len(parts) not in (4, 5):
+                raise ProtocolError(f"malformed VALUE header {line!r}")
+            key = parts[1]
+            length = int(parts[3])
+            cas = int(parts[4]) if len(parts) == 5 else 0
+            value = await conn.read_exactly(length)
+            trailer = await conn.read_exactly(2)
+            if trailer != CRLF:
+                raise ProtocolError("VALUE block missing CRLF trailer")
+            yield key, value, cas

@@ -1,0 +1,288 @@
+"""Memcached text protocol: incremental request parsing, reply encoding.
+
+The parser is a push-style state machine: feed it raw socket bytes in
+any fragmentation — one command split across many reads, many pipelined
+commands in one read — and pop complete events.  An event is either a
+:class:`Command` ready to execute or a :class:`BadCommand` carrying the
+reply line the server should send (``ERROR`` / ``CLIENT_ERROR ...``) and
+whether the connection is still usable afterwards.
+
+Supported commands: ``get``/``gets`` (multi-key), ``set``, ``delete``,
+``stats``, ``version``, ``quit``.  Limits follow memcached: keys are at
+most 250 bytes with no whitespace or control characters; values are
+bounded by the server's configured item size and rejected with
+``CLIENT_ERROR`` (the declared data block is consumed first, so the
+connection stays in sync).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+CRLF = b"\r\n"
+
+#: memcached's key limit.
+MAX_KEY_BYTES = 250
+#: Default per-item value bound (memcached's classic -I default).
+DEFAULT_MAX_VALUE_BYTES = 1024 * 1024
+#: Declared data blocks beyond this are not even consumed: the peer is
+#: either broken or hostile, and the connection is dropped.
+ABSOLUTE_MAX_VALUE_BYTES = 64 * 1024 * 1024
+#: A command line (longest: multi-get) may not exceed this.
+MAX_LINE_BYTES = 8192
+
+ERROR = b"ERROR" + CRLF
+STORED = b"STORED" + CRLF
+DELETED = b"DELETED" + CRLF
+NOT_FOUND = b"NOT_FOUND" + CRLF
+END = b"END" + CRLF
+
+
+@dataclass(frozen=True)
+class Command:
+    """One parsed client command, ready to execute."""
+
+    name: str
+    keys: Tuple[bytes, ...] = ()
+    value: bytes = b""
+    flags: int = 0
+    exptime: float = 0.0
+    noreply: bool = False
+
+
+@dataclass(frozen=True)
+class BadCommand:
+    """A protocol violation and the reply it earns.
+
+    ``fatal`` means the stream can no longer be trusted (unterminated
+    data block, oversized line) and the connection must be closed after
+    the reply is sent.
+    """
+
+    reply: bytes
+    reason: str
+    fatal: bool = False
+
+
+Event = Union[Command, BadCommand]
+
+
+def client_error(message: str) -> bytes:
+    return b"CLIENT_ERROR " + message.encode("ascii") + CRLF
+
+
+def server_error(message: str) -> bytes:
+    return b"SERVER_ERROR " + message.encode("ascii") + CRLF
+
+
+def encode_value(
+    key: bytes, value: bytes, flags: int = 0, cas: Optional[int] = None
+) -> bytes:
+    header = b"VALUE %s %d %d" % (key, flags, len(value))
+    if cas is not None:
+        header += b" %d" % cas
+    return header + CRLF + value + CRLF
+
+
+def encode_stats(stats: Dict[str, object]) -> bytes:
+    lines = [b"STAT %s %s" % (name.encode("ascii"), str(value).encode("ascii"))
+             for name, value in stats.items()]
+    return CRLF.join(lines) + CRLF + END if lines else END
+
+
+def valid_key(key: bytes) -> bool:
+    """memcached key rules: 1..250 bytes, no whitespace or control bytes."""
+    if not key or len(key) > MAX_KEY_BYTES:
+        return False
+    return all(33 <= byte <= 126 for byte in key)
+
+
+@dataclass
+class _PendingSet:
+    """A ``set`` whose data block has not fully arrived yet."""
+
+    keys: Tuple[bytes, ...]
+    flags: int
+    exptime: float
+    length: int
+    noreply: bool
+    #: When set, the data block is consumed and discarded and this reply
+    #: is emitted instead of a Command (oversized value).
+    reject: Optional[bytes] = None
+    reject_reason: str = ""
+
+
+class RequestParser:
+    """Incremental memcached-text parser.
+
+    Usage::
+
+        parser.feed(chunk)
+        for event in parser.events():
+            ...
+
+    ``events()`` yields every event completable from the buffered bytes;
+    a partial trailing command stays buffered for the next ``feed``.
+    """
+
+    def __init__(self, max_value_bytes: int = DEFAULT_MAX_VALUE_BYTES) -> None:
+        if max_value_bytes <= 0:
+            raise ValueError("max_value_bytes must be positive")
+        self.max_value_bytes = max_value_bytes
+        self._buffer = bytearray()
+        self._pending: Optional[_PendingSet] = None
+        self._broken = False
+
+    @property
+    def mid_command(self) -> bool:
+        """True when a partially received command is buffered (used by
+        the abrupt-disconnect accounting test and the drain logic)."""
+        return self._pending is not None or bool(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def events(self) -> Iterator[Event]:
+        while True:
+            event = self._next_event()
+            if event is None:
+                return
+            yield event
+            if isinstance(event, BadCommand) and event.fatal:
+                self._broken = True
+                return
+
+    # -- internals -------------------------------------------------------------
+
+    def _next_event(self) -> Optional[Event]:
+        if self._broken:
+            return None
+        if self._pending is not None:
+            return self._finish_data_block()
+        newline = self._buffer.find(b"\n")
+        if newline < 0:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                return BadCommand(
+                    client_error("line too long"), "oversized line", fatal=True
+                )
+            return None
+        raw = bytes(self._buffer[:newline])
+        del self._buffer[: newline + 1]
+        line = raw[:-1] if raw.endswith(b"\r") else raw
+        return self._parse_line(line)
+
+    def _finish_data_block(self) -> Optional[Event]:
+        pending = self._pending
+        assert pending is not None
+        needed = pending.length + len(CRLF)
+        if len(self._buffer) < needed:
+            return None
+        value = bytes(self._buffer[: pending.length])
+        trailer = bytes(self._buffer[pending.length : needed])
+        del self._buffer[:needed]
+        self._pending = None
+        if trailer != CRLF:
+            return BadCommand(
+                client_error("bad data chunk"), "unterminated data block",
+                fatal=True,
+            )
+        if pending.reject is not None:
+            return BadCommand(pending.reject, pending.reject_reason)
+        return Command(
+            name="set",
+            keys=pending.keys,
+            value=value,
+            flags=pending.flags,
+            exptime=pending.exptime,
+            noreply=pending.noreply,
+        )
+
+    def _parse_line(self, line: bytes) -> Event:
+        if not line:
+            return BadCommand(ERROR, "empty command line")
+        parts = [part for part in line.split(b" ") if part]
+        name = parts[0].lower()
+        args = parts[1:]
+        if name in (b"get", b"gets"):
+            return self._parse_get(name.decode(), args)
+        if name == b"set":
+            return self._parse_set(args)
+        if name == b"delete":
+            return self._parse_delete(args)
+        if name in (b"stats", b"version", b"quit"):
+            if args:
+                return BadCommand(ERROR, f"{name.decode()} takes no arguments")
+            return Command(name=name.decode())
+        return BadCommand(ERROR, f"unknown command {name!r}")
+
+    def _parse_get(self, name: str, args: List[bytes]) -> Event:
+        if not args:
+            return BadCommand(ERROR, "get with no keys")
+        for key in args:
+            if not valid_key(key):
+                return BadCommand(client_error("bad key"), f"bad key {key!r}")
+        return Command(name=name, keys=tuple(args))
+
+    def _parse_set(self, args: List[bytes]) -> Event:
+        noreply = False
+        if args and args[-1] == b"noreply":
+            noreply = True
+            args = args[:-1]
+        if len(args) != 4:
+            return BadCommand(
+                client_error("bad command line format"),
+                "set expects <key> <flags> <exptime> <bytes>",
+            )
+        key, flags_raw, exptime_raw, length_raw = args
+        try:
+            flags = int(flags_raw)
+            exptime = float(exptime_raw)
+            length = int(length_raw)
+        except ValueError:
+            return BadCommand(
+                client_error("bad command line format"),
+                "non-numeric set parameters",
+            )
+        if length < 0 or exptime < 0 or flags < 0:
+            return BadCommand(
+                client_error("bad command line format"),
+                "negative set parameters",
+            )
+        if length > ABSOLUTE_MAX_VALUE_BYTES:
+            return BadCommand(
+                client_error("object too large for cache"),
+                f"declared value of {length} B beyond the absolute bound",
+                fatal=True,
+            )
+        reject = None
+        reason = ""
+        if not valid_key(key):
+            reject = client_error("bad key")
+            reason = f"bad key {key!r}"
+        elif length > self.max_value_bytes:
+            reject = client_error("object too large for cache")
+            reason = f"value of {length} B exceeds {self.max_value_bytes} B"
+        self._pending = _PendingSet(
+            keys=(key,),
+            flags=flags,
+            exptime=exptime,
+            length=length,
+            noreply=noreply,
+            reject=reject,
+            reject_reason=reason,
+        )
+        return self._finish_data_block()
+
+    def _parse_delete(self, args: List[bytes]) -> Event:
+        noreply = False
+        if args and args[-1] == b"noreply":
+            noreply = True
+            args = args[:-1]
+        if len(args) != 1:
+            return BadCommand(
+                client_error("bad command line format"), "delete expects one key"
+            )
+        if not valid_key(args[0]):
+            return BadCommand(client_error("bad key"), f"bad key {args[0]!r}")
+        return Command(name="delete", keys=(args[0],), noreply=noreply)

@@ -1,0 +1,433 @@
+"""Asyncio memcached-protocol front-end over a (sharded) zExpander.
+
+Robustness is the design driver, not protocol coverage:
+
+* **Slow-client isolation** — every socket read and write carries a
+  timeout; a stalled peer costs one connection, never the event loop.
+* **Bounded concurrency** — a global inflight gauge feeds the
+  :class:`~repro.server.admission.AdmissionController`; past the hard
+  cap nothing executes, so queue growth is bounded by construction.
+* **Load shedding in N/Z order** — overloaded requests are refused with
+  ``SERVER_ERROR overloaded``; Z-zone-destined GETs (Content-Filter
+  pre-check) go first, protecting the cheap N-zone path.
+* **Graceful drain** — SIGTERM stops accepting, finishes inflight work
+  up to a deadline, writes a crash-safe snapshot, and exits 0; a
+  restart warm-loads that snapshot (``strict=False``, so even a torn
+  file yields a partially warm cache).
+* **Fault-plan wiring** — a cache-level :class:`FaultPlan` armed via
+  ``ZExpanderConfig(fault_plan=...)`` fires on the serving path too
+  (bit-flips, codec faults, squeezes, skew), and an
+  :class:`InvariantAuditor` re-verifies cache invariants every N
+  commands so wire-driven chaos catches bookkeeping damage at the
+  request that caused it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import __version__
+from repro.core.snapshot import LoadResult, load_snapshot, write_snapshot
+from repro.faults.auditor import InvariantAuditor
+from repro.server import protocol
+from repro.server.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ServerState,
+)
+from repro.server.protocol import BadCommand, Command, RequestParser
+
+#: Virtual-clock step per served command in deterministic ("tick") mode —
+#: matches the replay engine's default request rate of 100 k req/s.
+TICK_SECONDS = 1e-5
+
+_OVERLOADED = protocol.server_error("overloaded")
+_DRAINING = protocol.server_error("draining")
+
+
+@dataclass
+class ServerConfig:
+    """Everything one serving process needs to know."""
+
+    host: str = "127.0.0.1"
+    port: int = 11311
+    read_timeout: float = 30.0
+    write_timeout: float = 10.0
+    max_value_bytes: int = protocol.DEFAULT_MAX_VALUE_BYTES
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: ``tick`` advances the cache's virtual clock a fixed step per
+    #: command (deterministic); ``wall`` is left to operators who need
+    #: real TTL semantics and accept nondeterminism.
+    clock_mode: str = "tick"
+    drain_deadline: float = 5.0
+    snapshot_path: Optional[str] = None
+    #: Re-verify cache invariants every N commands (0 = off).
+    audit_interval: int = 0
+
+    def validate(self) -> None:
+        if self.read_timeout <= 0 or self.write_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.drain_deadline < 0:
+            raise ValueError("drain_deadline must be >= 0")
+        if self.clock_mode not in ("tick", "wall"):
+            raise ValueError(f"unknown clock_mode {self.clock_mode!r}")
+        if self.audit_interval < 0:
+            raise ValueError("audit_interval must be >= 0")
+        self.admission.validate()
+
+
+@dataclass
+class ServerStats:
+    """Serving-layer counters (cache counters live on the cache)."""
+
+    connections_total: int = 0
+    connections_current: int = 0
+    commands: int = 0
+    cmd_get: int = 0
+    cmd_set: int = 0
+    cmd_delete: int = 0
+    get_hits: int = 0
+    get_misses: int = 0
+    read_timeouts: int = 0
+    peer_resets: int = 0
+    protocol_errors: int = 0
+    oversized_rejects: int = 0
+    drained_commands: int = 0
+    invariant_failures: int = 0
+    snapshot_loaded: int = 0
+    snapshot_skipped: int = 0
+    snapshot_written: int = 0
+
+
+class CacheServer:
+    """One asyncio serving process over a ZExpander/ShardedZExpander."""
+
+    def __init__(
+        self,
+        cache,
+        config: Optional[ServerConfig] = None,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.config.validate()
+        self.cache = cache
+        # Admission meters *real* arrival rates (wall clock) regardless of
+        # the cache's clock_mode; deterministic runs inject a controller
+        # driven by a TickClock instead.
+        if admission is not None:
+            self.admission = admission
+        else:
+            self.admission = AdmissionController(self.config.admission)
+        self.stats = ServerStats()
+        self.auditor: Optional[InvariantAuditor] = (
+            InvariantAuditor(cache, self.config.audit_interval)
+            if self.config.audit_interval
+            else None
+        )
+        self._inflight = 0
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._port: Optional[int] = None
+        self._connections: List[asyncio.StreamWriter] = []
+        self._exit_code = 0
+        #: Messages for post-mortems: invariant failures, snapshot issues.
+        self.incidents: List[str] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``); stable across drain."""
+        assert self._port is not None, "server not started"
+        return self._port
+
+    async def start(self) -> None:
+        """Warm-load the snapshot (if any), then bind and accept."""
+        if self.config.snapshot_path is not None:
+            self._warm_restart(self.config.snapshot_path)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    def _warm_restart(self, path: str) -> None:
+        try:
+            result: LoadResult = load_snapshot(self.cache, path, strict=False)
+        except FileNotFoundError:
+            return
+        except Exception as exc:  # a bad snapshot must not block startup
+            self.incidents.append(f"snapshot load failed: {exc}")
+            return
+        self.stats.snapshot_loaded = result.loaded
+        self.stats.snapshot_skipped = result.skipped
+        if result.error:
+            self.incidents.append(f"snapshot tail skipped: {result.error}")
+
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+        return self._exit_code
+
+    def begin_drain(self) -> None:
+        """SIGTERM entry point: stop accepting, schedule the drain."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        asyncio.get_running_loop().create_task(self._finish_drain())
+
+    async def _finish_drain(self) -> None:
+        deadline = self.config.drain_deadline
+        try:
+            await asyncio.wait_for(self._inflight_zero(), deadline)
+        except (asyncio.TimeoutError, TimeoutError):
+            self.incidents.append(
+                f"drain deadline ({deadline}s) expired with "
+                f"{self._inflight} requests inflight"
+            )
+        if self.config.snapshot_path is not None:
+            try:
+                self.stats.snapshot_written = write_snapshot(
+                    self.cache, self.config.snapshot_path
+                )
+            except Exception as exc:
+                self.incidents.append(f"snapshot write failed: {exc}")
+                self._exit_code = 1
+        if self.stats.invariant_failures:
+            self._exit_code = 1
+        for writer in list(self._connections):
+            writer.close()
+        self._stopped.set()
+
+    async def _inflight_zero(self) -> None:
+        while self._inflight > 0:
+            await asyncio.sleep(0.01)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections_total += 1
+        self.stats.connections_current += 1
+        self._connections.append(writer)
+        parser = RequestParser(self.config.max_value_bytes)
+        try:
+            await self._connection_loop(reader, writer, parser)
+        except (ConnectionResetError, BrokenPipeError):
+            self.stats.peer_resets += 1
+        except (asyncio.TimeoutError, TimeoutError):
+            self.stats.read_timeouts += 1
+        finally:
+            self.stats.connections_current -= 1
+            if writer in self._connections:
+                self._connections.remove(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _connection_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        parser: RequestParser,
+    ) -> None:
+        while True:
+            for event in parser.events():
+                if not await self._dispatch(event, writer):
+                    return
+            try:
+                data = await asyncio.wait_for(
+                    reader.read(65536), self.config.read_timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                self.stats.read_timeouts += 1
+                return
+            if not data:
+                # EOF.  A half-received command (e.g. an abrupt mid-set
+                # disconnect) dies in the parser buffer: it never reached
+                # the cache, so accounting needs no repair.
+                if parser.mid_command:
+                    self.stats.peer_resets += 1
+                return
+            parser.feed(data)
+
+    async def _dispatch(
+        self, event: protocol.Event, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Execute one event; False ends the connection."""
+        if isinstance(event, BadCommand):
+            self.stats.protocol_errors += 1
+            if b"too large" in event.reply:
+                self.stats.oversized_rejects += 1
+            await self._send(writer, event.reply)
+            return not event.fatal
+        command: Command = event
+        if command.name == "quit":
+            return False
+        self.stats.commands += 1
+        if self.auditor is not None:
+            try:
+                self.auditor.on_request(self.stats.commands)
+            except Exception as exc:
+                self.stats.invariant_failures += 1
+                self.incidents.append(
+                    f"invariant check failed at command "
+                    f"{self.stats.commands}: {exc}"
+                )
+        if self._draining and command.name not in ("stats", "version"):
+            self.stats.drained_commands += 1
+            if not command.noreply:
+                await self._send(writer, _DRAINING)
+            return True
+        if command.name == "version":
+            await self._send(
+                writer, b"VERSION repro-zx/" + __version__.encode() + protocol.CRLF
+            )
+            return True
+        if command.name == "stats":
+            await self._send(writer, protocol.encode_stats(self.stats_dict()))
+            return True
+        if not self.admission.admit(
+            zzone_bound=self._zzone_bound(command), inflight=self._inflight
+        ):
+            if not command.noreply:
+                await self._send(writer, _OVERLOADED)
+            return True
+        self._inflight += 1
+        try:
+            self._tick_clock()
+            reply = self._execute(command)
+            self._fault_hook(command)
+        finally:
+            self._inflight -= 1
+        if reply and not command.noreply:
+            await self._send(writer, reply)
+        return True
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
+        writer.write(payload)
+        await asyncio.wait_for(writer.drain(), self.config.write_timeout)
+
+    # -- command execution -----------------------------------------------------
+
+    def _zzone_bound(self, command: Command) -> bool:
+        """Is this command Z-zone-destined work (sheddable first)?
+
+        Only GETs ever are: SETs land in the N-zone and DELETEs must not
+        be dropped preferentially (they carry correctness).  A multi-GET
+        counts as Z-bound only when *every* key routes to the Z-zone, so
+        a request with any hot key keeps N-zone latency.
+        """
+        if command.name not in ("get", "gets"):
+            return False
+        routes = getattr(self.cache, "routes_to_zzone", None)
+        if routes is None:
+            return False
+        return all(routes(key) for key in command.keys)
+
+    def _execute(self, command: Command) -> bytes:
+        if command.name in ("get", "gets"):
+            self.stats.cmd_get += 1
+            chunks = []
+            with_cas = command.name == "gets"
+            for key in command.keys:
+                value = self.cache.get(key)
+                if value is None:
+                    self.stats.get_misses += 1
+                    continue
+                self.stats.get_hits += 1
+                cas = zlib.crc32(value) if with_cas else None
+                chunks.append(protocol.encode_value(key, value, cas=cas))
+            chunks.append(protocol.END)
+            return b"".join(chunks)
+        if command.name == "set":
+            self.stats.cmd_set += 1
+            ttl = command.exptime if command.exptime > 0 else None
+            try:
+                self.cache.set(command.keys[0], command.value, ttl=ttl)
+            except Exception as exc:
+                return protocol.server_error(f"set failed: {type(exc).__name__}")
+            return protocol.STORED
+        if command.name == "delete":
+            self.stats.cmd_delete += 1
+            found = self.cache.delete(command.keys[0])
+            return protocol.DELETED if found else protocol.NOT_FOUND
+        raise AssertionError(f"unroutable command {command.name!r}")
+
+    def _tick_clock(self) -> None:
+        if self.config.clock_mode == "tick":
+            clock = getattr(self.cache, "clock", None)
+            if clock is not None:
+                clock.advance(TICK_SECONDS)
+
+    def _fault_hook(self, command: Command) -> None:
+        """Fire control-plane fault sites (squeeze/skew) on the serving path."""
+        if not command.keys:
+            return
+        shard_for = getattr(self.cache, "shard_for", None)
+        target = shard_for(command.keys[0]) if shard_for else self.cache
+        injector = getattr(target, "fault_injector", None)
+        if injector is not None:
+            injector.on_request(
+                self.stats.commands, clock=target.clock, cache=target
+            )
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, object]:
+        """The ``stats`` command's payload: server + admission + cache."""
+        out: Dict[str, object] = {
+            "version": __version__,
+            "state": self.admission.state.value,
+            "draining": int(self._draining),
+            "inflight": self._inflight,
+        }
+        for name, value in vars(self.stats).items():
+            out[name] = value
+        for name, value in self.admission.stats.as_dict().items():
+            out["admission_" + name] = value
+        out["curr_items"] = self.cache.item_count
+        out["bytes"] = self.cache.used_bytes
+        out["limit_maxbytes"] = self.cache.capacity
+        cache_stats = getattr(self.cache, "stats", None)
+        if cache_stats is None and hasattr(self.cache, "aggregate_stats"):
+            cache_stats = self.cache.aggregate_stats()
+        if cache_stats is not None:
+            out["cache_gets"] = cache_stats.gets
+            out["cache_sets"] = cache_stats.sets
+            out["cache_hits_nzone"] = cache_stats.get_hits_nzone
+            out["cache_hits_zzone"] = cache_stats.get_hits_zzone
+            out["cache_misses"] = cache_stats.get_misses
+        integrity = getattr(self.cache, "aggregate_integrity", None)
+        if integrity is not None:
+            for name, value in integrity().items():
+                out["integrity_" + name] = value
+        else:
+            zzone = getattr(self.cache, "zzone", None)
+            if zzone is not None:
+                zstats = zzone.stats
+                for name in (
+                    "checksum_failures",
+                    "codec_failures",
+                    "codec_fallbacks",
+                    "quarantined_blocks",
+                    "quarantined_items",
+                    "quarantined_bytes",
+                    "emergency_sweeps",
+                ):
+                    out["integrity_" + name] = getattr(zstats, name)
+        return out
+
+    @property
+    def healthy(self) -> bool:
+        return self.admission.state is ServerState.HEALTHY and not self._draining

@@ -119,3 +119,136 @@ class TestValidation:
         data = MAGIC + (1 << 30).to_bytes(4, "big") + (0).to_bytes(4, "big")
         with pytest.raises(SnapshotError):
             list(read_snapshot(io.BytesIO(data)))
+
+
+class _ExplodingCache:
+    """Yields a few items, then dies mid-serialisation."""
+
+    def __init__(self, good_items=3):
+        self.good_items = good_items
+
+    def items(self):
+        for i in range(self.good_items):
+            yield b"k%d" % i, b"v%d" % i
+        raise RuntimeError("disk on fire")
+
+
+class TestCrashSafeWrite:
+    def test_failed_write_leaves_no_file(self, tmp_path):
+        path = tmp_path / "never.snap"
+        with pytest.raises(RuntimeError):
+            write_snapshot(_ExplodingCache(), path)
+        assert not path.exists()
+        assert not (tmp_path / "never.snap.tmp").exists()
+
+    def test_failed_rewrite_preserves_previous_snapshot(self, tmp_path):
+        cache = SimpleKVCache(PlainZone(1 << 16))
+        for i in range(20):
+            cache.set(b"k%03d" % i, b"v%03d" % i)
+        path = tmp_path / "cache.snap"
+        write_snapshot(cache, path)
+        before = path.read_bytes()
+        with pytest.raises(RuntimeError):
+            write_snapshot(_ExplodingCache(), path)
+        # The atomic replace never ran: old snapshot intact, loadable.
+        assert path.read_bytes() == before
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        assert load_snapshot(restored, path) == 20
+
+    def test_kill_mid_write_never_truncates_final_path(self, tmp_path):
+        """SIGKILL a writer process; the final path is absent or valid.
+
+        The child rewrites the same snapshot in a tight loop; whenever
+        the KILL lands — during the tmp write, the fsync, or between
+        renames — the final path must hold a complete snapshot or not
+        exist at all.
+        """
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        path = tmp_path / "killed.snap"
+        script = (
+            "import sys\n"
+            "from repro.core import SimpleKVCache\n"
+            "from repro.core.snapshot import write_snapshot\n"
+            "from repro.nzone import PlainZone\n"
+            "cache = SimpleKVCache(PlainZone(1 << 22))\n"
+            "for i in range(4000):\n"
+            "    cache.set(b'k%05d' % i, b'v' * 200)\n"
+            "print('ready', flush=True)\n"
+            "while True:\n"
+            "    write_snapshot(cache, sys.argv[1])\n"
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdout=subprocess.PIPE,
+        )
+        try:
+            assert child.stdout.readline().strip() == b"ready"
+            time.sleep(0.2)  # land the kill somewhere inside a rewrite
+        finally:
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+        if path.exists():
+            items = list(read_snapshot(path))  # strict: raises if torn
+            assert len(items) == 4000
+        # A leftover .tmp is acceptable debris; the *final* path never
+        # holds a partial file, and the next writer simply replaces it.
+
+
+class TestRecoveryMode:
+    def _snapshot_bytes(self, items=30):
+        cache = SimpleKVCache(PlainZone(1 << 16))
+        for i in range(items):
+            cache.set(b"key:%04d" % i, b"value-%04d" % i)
+        buffer = io.BytesIO()
+        write_snapshot(cache, buffer)
+        return buffer.getvalue()
+
+    def test_truncated_tail_counted_and_skipped(self):
+        data = self._snapshot_bytes()
+        torn = io.BytesIO(data[: len(data) - 7])  # cuts the last record
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        result = load_snapshot(restored, torn, strict=False)
+        assert result == 29  # int-compatible: loaded count
+        assert result.loaded == 29
+        assert result.skipped == 1
+        assert result.truncated
+        assert "truncated" in result.error
+
+    def test_intact_snapshot_reports_clean(self, tmp_path):
+        path = tmp_path / "clean.snap"
+        path.write_bytes(self._snapshot_bytes())
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        result = load_snapshot(restored, path, strict=False)
+        assert result.loaded == 30
+        assert result.skipped == 0
+        assert result.error is None and not result.truncated
+
+    def test_strict_load_still_raises_on_torn_tail(self):
+        data = self._snapshot_bytes()
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        with pytest.raises(SnapshotError):
+            load_snapshot(restored, io.BytesIO(data[:-3]), strict=True)
+
+    def test_bad_magic_raises_even_in_recovery_mode(self):
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        with pytest.raises(SnapshotError):
+            load_snapshot(restored, io.BytesIO(b"GARBAGE!"), strict=False)
+
+    def test_recovery_mode_on_midfile_header_cut(self):
+        data = self._snapshot_bytes()
+        # Cut inside a *header*, not a body: leave magic + 10 records + 3
+        # stray bytes that look like the start of a length header.
+        from repro.core.snapshot import MAGIC
+
+        record_size = 8 + len(b"key:0000") + len(b"value-0000")
+        assert len(data) == len(MAGIC) + 30 * record_size
+        cut = len(MAGIC) + 10 * record_size + 3
+        restored = SimpleKVCache(PlainZone(1 << 16))
+        result = load_snapshot(restored, io.BytesIO(data[:cut]), strict=False)
+        assert result.loaded == 10
+        assert result.skipped == 1
+        assert "header" in result.error

@@ -73,8 +73,17 @@ class TestFaultPlan:
                 {"seed": 1, "specs": [{"site": "clock.skew", "rate": 1, "x": 2}]}
             )
 
-    def test_default_plan_covers_every_site(self):
-        assert FaultPlan.default(0).sites == SITES
+    def test_default_plan_covers_every_cache_site(self):
+        from repro.faults import WIRE_SITES
+
+        cache_sites = tuple(s for s in SITES if s not in WIRE_SITES)
+        assert FaultPlan.default(0).sites == cache_sites
+
+    def test_server_plan_adds_the_wire_sites(self):
+        from repro.faults import WIRE_SITES
+        from repro.server.chaos import default_server_plan
+
+        assert set(default_server_plan(0).sites) >= set(WIRE_SITES)
 
     def test_for_site_filters(self):
         plan = FaultPlan.default(0)

@@ -1,0 +1,235 @@
+"""Protocol edge cases: fragmentation, pipelining, hostile input."""
+
+import pytest
+
+from repro.server.protocol import (
+    DEFAULT_MAX_VALUE_BYTES,
+    MAX_KEY_BYTES,
+    MAX_LINE_BYTES,
+    BadCommand,
+    Command,
+    RequestParser,
+    encode_stats,
+    encode_value,
+    valid_key,
+)
+
+
+def events_of(parser):
+    return list(parser.events())
+
+
+def feed_all(data, chunk=None):
+    """Parse ``data``, optionally in ``chunk``-byte fragments."""
+    parser = RequestParser()
+    events = []
+    if chunk is None:
+        parser.feed(data)
+        events.extend(parser.events())
+    else:
+        for start in range(0, len(data), chunk):
+            parser.feed(data[start : start + chunk])
+            events.extend(parser.events())
+    return events
+
+
+class TestBasicParsing:
+    def test_get_single_key(self):
+        (event,) = feed_all(b"get alpha\r\n")
+        assert event == Command(name="get", keys=(b"alpha",))
+
+    def test_get_multi_key(self):
+        (event,) = feed_all(b"gets a b c\r\n")
+        assert event.name == "gets"
+        assert event.keys == (b"a", b"b", b"c")
+
+    def test_set_with_data_block(self):
+        (event,) = feed_all(b"set k 7 0 5\r\nhello\r\n")
+        assert event.name == "set"
+        assert event.keys == (b"k",)
+        assert event.value == b"hello"
+        assert event.flags == 7
+
+    def test_set_noreply(self):
+        (event,) = feed_all(b"set k 0 0 2 noreply\r\nhi\r\n")
+        assert event.noreply
+
+    def test_delete(self):
+        (event,) = feed_all(b"delete gone\r\n")
+        assert event == Command(name="delete", keys=(b"gone",))
+
+    def test_bare_lf_line_endings_tolerated(self):
+        (event,) = feed_all(b"get alpha\n")
+        assert event.keys == (b"alpha",)
+
+    def test_value_bytes_are_binary_safe(self):
+        payload = bytes(range(256)) * 2
+        data = b"set bin 0 0 %d\r\n" % len(payload) + payload + b"\r\n"
+        (event,) = feed_all(data)
+        assert event.value == payload
+
+    def test_admin_commands(self):
+        events = feed_all(b"stats\r\nversion\r\nquit\r\n")
+        assert [event.name for event in events] == ["stats", "version", "quit"]
+
+
+class TestPipelining:
+    """Many commands in one TCP segment must all come out, in order."""
+
+    def test_pipelined_commands_single_segment(self):
+        data = (
+            b"set a 0 0 3\r\nAAA\r\n"
+            b"get a\r\n"
+            b"set b 0 0 3\r\nBBB\r\n"
+            b"get a b\r\n"
+            b"delete a\r\n"
+        )
+        events = feed_all(data)
+        assert [event.name for event in events] == [
+            "set",
+            "get",
+            "set",
+            "get",
+            "delete",
+        ]
+        assert events[0].value == b"AAA"
+        assert events[3].keys == (b"a", b"b")
+
+    def test_pipelined_set_value_containing_crlf(self):
+        # A data block may contain b"\r\nget x\r\n" — it's payload, not
+        # commands.
+        payload = b"\r\nget x\r\n"
+        data = b"set k 0 0 %d\r\n" % len(payload) + payload + b"\r\nget k\r\n"
+        events = feed_all(data)
+        assert [event.name for event in events] == ["set", "get"]
+        assert events[0].value == payload
+
+
+class TestPartialFrames:
+    """Commands split across arbitrary read boundaries."""
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 7])
+    def test_byte_at_a_time(self, chunk):
+        data = b"set key 0 0 6\r\nabcdef\r\nget key other\r\n"
+        events = feed_all(data, chunk=chunk)
+        assert [event.name for event in events] == ["set", "get"]
+        assert events[0].value == b"abcdef"
+        assert events[1].keys == (b"key", b"other")
+
+    def test_split_inside_data_block(self):
+        parser = RequestParser()
+        parser.feed(b"set k 0 0 10\r\nabc")
+        assert events_of(parser) == []
+        assert parser.mid_command
+        parser.feed(b"defghij")
+        assert events_of(parser) == []
+        parser.feed(b"\r\n")
+        (event,) = events_of(parser)
+        assert event.value == b"abcdefghij"
+        assert not parser.mid_command
+
+    def test_split_inside_command_line(self):
+        parser = RequestParser()
+        parser.feed(b"get al")
+        assert events_of(parser) == []
+        assert parser.mid_command
+        parser.feed(b"pha\r\n")
+        (event,) = events_of(parser)
+        assert event.keys == (b"alpha",)
+
+
+class TestRejection:
+    def test_unknown_command(self):
+        (event,) = feed_all(b"frobnicate\r\n")
+        assert isinstance(event, BadCommand)
+        assert event.reply == b"ERROR\r\n"
+        assert not event.fatal
+
+    def test_oversized_key_rejected(self):
+        key = b"k" * (MAX_KEY_BYTES + 1)
+        (event,) = feed_all(b"get " + key + b"\r\n")
+        assert isinstance(event, BadCommand)
+        assert event.reply.startswith(b"CLIENT_ERROR")
+
+    def test_key_with_whitespace_rejected(self):
+        (event,) = feed_all(b"delete bad\tkey\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_oversized_value_rejected_and_stream_stays_in_sync(self):
+        parser = RequestParser(max_value_bytes=8)
+        payload = b"x" * 20
+        parser.feed(b"set big 0 0 20\r\n" + payload + b"\r\nget ok\r\n")
+        events = events_of(parser)
+        # The declared block is consumed, CLIENT_ERROR emitted, and the
+        # next pipelined command still parses.
+        assert isinstance(events[0], BadCommand)
+        assert b"too large" in events[0].reply
+        assert not events[0].fatal
+        assert events[1] == Command(name="get", keys=(b"ok",))
+
+    def test_oversized_set_key_consumes_block_too(self):
+        parser = RequestParser()
+        key = b"k" * (MAX_KEY_BYTES + 1)
+        parser.feed(b"set " + key + b" 0 0 3\r\nabc\r\nget ok\r\n")
+        events = events_of(parser)
+        assert isinstance(events[0], BadCommand)
+        assert events[1].name == "get"
+
+    def test_absurd_declared_length_is_fatal(self):
+        (event,) = feed_all(b"set k 0 0 999999999999\r\n")
+        assert isinstance(event, BadCommand)
+        assert event.fatal
+
+    def test_unterminated_data_block_is_fatal(self):
+        (event,) = feed_all(b"set k 0 0 3\r\nabcdef more garbage\r\n")
+        assert isinstance(event, BadCommand)
+        assert event.fatal
+
+    def test_oversized_line_is_fatal(self):
+        parser = RequestParser()
+        parser.feed(b"get " + b"k " * (MAX_LINE_BYTES // 2 + 100))
+        (event,) = events_of(parser)
+        assert isinstance(event, BadCommand)
+        assert event.fatal
+
+    def test_broken_parser_emits_nothing_more(self):
+        parser = RequestParser()
+        parser.feed(b"set k 0 0 3\r\nabcd-garbage\r\nget ok\r\n")
+        events = events_of(parser)
+        assert len(events) == 1 and events[0].fatal
+        parser.feed(b"get later\r\n")
+        assert events_of(parser) == []
+
+    def test_bad_set_parameters(self):
+        for line in (
+            b"set k 0 0\r\n",  # missing length
+            b"set k x 0 3\r\n",  # non-numeric flags
+            b"set k 0 0 -3\r\n",  # negative length
+        ):
+            (event,) = feed_all(line)
+            assert isinstance(event, BadCommand), line
+
+
+class TestEncodersAndKeys:
+    def test_encode_value_with_cas(self):
+        assert (
+            encode_value(b"k", b"abc", flags=2, cas=9)
+            == b"VALUE k 2 3 9\r\nabc\r\n"
+        )
+
+    def test_encode_stats_ends_with_end(self):
+        payload = encode_stats({"a": 1, "b": "x"})
+        assert payload.startswith(b"STAT a 1\r\n")
+        assert payload.endswith(b"END\r\n")
+
+    def test_valid_key_rules(self):
+        assert valid_key(b"ok-key:1")
+        assert valid_key(b"k" * MAX_KEY_BYTES)
+        assert not valid_key(b"")
+        assert not valid_key(b"k" * (MAX_KEY_BYTES + 1))
+        assert not valid_key(b"has space")
+        assert not valid_key(b"ctrl\x01char")
+        assert not valid_key("unicodeé".encode())
+
+    def test_default_limit_sane(self):
+        assert DEFAULT_MAX_VALUE_BYTES == 1024 * 1024

@@ -34,6 +34,7 @@ class TestPublicApi:
         import repro.memory
         import repro.nzone
         import repro.replacement
+        import repro.server
         import repro.sim
         import repro.workloads
         import repro.zzone
@@ -46,6 +47,7 @@ class TestPublicApi:
             repro.memory,
             repro.nzone,
             repro.replacement,
+            repro.server,
             repro.sim,
             repro.workloads,
             repro.zzone,
@@ -73,6 +75,20 @@ class TestPublicApi:
         # Backward compat: corrupt-container callers catch ValueError.
         assert issubclass(repro.CodecError, ValueError)
         assert issubclass(repro.FaultPlanError, repro.ConfigurationError)
+
+    def test_serving_exception_hierarchy(self):
+        """The serving layer's errors slot under the same base class."""
+        for exc in (
+            repro.ServingError,
+            repro.ServerOverloadedError,
+            repro.RequestTimeoutError,
+            repro.ConnectionDrainingError,
+            repro.ProtocolError,
+        ):
+            assert issubclass(exc, repro.CacheError), exc
+            assert issubclass(exc, repro.ServingError), exc
+        # Deadline misses must be catchable as a plain TimeoutError too.
+        assert issubclass(repro.RequestTimeoutError, TimeoutError)
 
     def test_exceptions_carry_context(self):
         err = repro.CorruptionDetectedError(0x1234, 0x5678)
