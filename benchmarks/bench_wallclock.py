@@ -338,6 +338,91 @@ def bench_integrity(scale: Scale, git_rev: str) -> list:
     return records
 
 
+def bench_metrics_overhead(scale: Scale, git_rev: str) -> list:
+    """Replay throughput with the metrics registry on vs off.
+
+    The observability layer promises near-zero cost: sampled latency
+    timing plus lazy mounted views.  Best-of-3 walls per mode keep the
+    comparison stable on noisy machines; the ``metrics_overhead`` record
+    carries the on/off ratio the CI smoke job asserts against.
+    """
+    from repro.metrics import MetricsRegistry
+
+    trace = build_trace("ETC", scale)
+    values = build_value_source("ETC", trace, seed=scale.seed)
+    capacity = int(base_size_of("ETC", scale) * 2)
+    timer = time.perf_counter
+    walls = {False: float("inf"), True: float("inf")}
+    registry = None
+    # Interleave the two modes (off, on, off, on, ...) so machine warmup
+    # and frequency drift hit both sides equally; keep the best of each.
+    for _ in range(3):
+        for metrics_on in (False, True):
+            cache, clock = _build_mzx(scale, trace, capacity)
+            run_registry = MetricsRegistry() if metrics_on else None
+            if metrics_on:
+                cache.bind_metrics(run_registry)
+            started = timer()
+            replay_trace(
+                cache,
+                trace,
+                values,
+                clock=clock,
+                request_rate=_REQUEST_RATE,
+                registry=run_registry,
+            )
+            wall = timer() - started
+            if wall < walls[metrics_on]:
+                walls[metrics_on] = wall
+                if metrics_on:
+                    registry = run_registry
+
+    latency = registry.snapshot()["replay_request_seconds"]
+    # Re-registration hands back the live histogram for percentiles.
+    hist = registry.histogram("replay_request_seconds", timing=True)
+    records = [
+        BenchRecord(
+            bench="replay_etc_mzx_metrics_off",
+            config={
+                "workload": "ETC",
+                "system": "mzx",
+                "metrics": False,
+                "request_rate": _REQUEST_RATE,
+                **_scale_config(scale),
+            },
+            ops_per_sec=len(trace) / walls[False],
+            wall_s=walls[False],
+            git_rev=git_rev,
+        ),
+        BenchRecord(
+            bench="replay_etc_mzx_metrics_on",
+            config={
+                "workload": "ETC",
+                "system": "mzx",
+                "metrics": True,
+                "request_rate": _REQUEST_RATE,
+                "latency_samples": latency["count"],
+                **_scale_config(scale),
+            },
+            ops_per_sec=len(trace) / walls[True],
+            p50_us=hist.percentile(50.0) * 1e6,
+            p99_us=hist.percentile(99.0) * 1e6,
+            wall_s=walls[True],
+            git_rev=git_rev,
+        ),
+        BenchRecord(
+            bench="metrics_overhead",
+            config={
+                "overhead_fraction": round(walls[True] / walls[False] - 1.0, 4),
+                **_scale_config(scale),
+            },
+            wall_s=walls[True] - walls[False],
+            git_rev=git_rev,
+        ),
+    ]
+    return records
+
+
 def bench_runall(scale: Scale, jobs: int, git_rev: str) -> BenchRecord:
     """End-to-end ``cli run all`` timing (stdout suppressed)."""
     import contextlib
@@ -417,6 +502,18 @@ def main(argv=None) -> int:
                 "integrity_check_overhead: "
                 f"get-hit {record.config['get_hit_overhead_fraction']:+.1%}  "
                 f"replay {record.config['replay_overhead_fraction']:+.1%}"
+            )
+        elif record.ops_per_sec:
+            print(
+                f"{record.bench}: {record.ops_per_sec:,.0f} ops/s  "
+                f"({record.wall_s:.2f} s)"
+            )
+        records.append(record)
+    for record in bench_metrics_overhead(scale, git_rev):
+        if record.bench == "metrics_overhead":
+            print(
+                "metrics_overhead: "
+                f"replay {record.config['overhead_fraction']:+.1%}"
             )
         elif record.ops_per_sec:
             print(

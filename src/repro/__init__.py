@@ -56,6 +56,14 @@ from repro.compression import (
     ZlibCompressor,
 )
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    merge_snapshots,
+)
 from repro.nzone import HPCacheZone, MemcachedZone, PlainZone
 from repro.zzone import ZZone
 
@@ -71,17 +79,21 @@ __all__ = [
     "ConfigurationError",
     "ConnectionDrainingError",
     "CorruptionDetectedError",
+    "Counter",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
+    "Gauge",
     "HPCacheZone",
+    "Histogram",
     "IntegrityError",
     "ItemTooLargeError",
     "KVItem",
     "LZ4Compressor",
     "LoadResult",
     "MemcachedZone",
+    "MetricsRegistry",
     "ModelCompressor",
     "NullCompressor",
     "Operation",
@@ -102,6 +114,8 @@ __all__ = [
     "ZlibCompressor",
     "format_bytes",
     "load_snapshot",
+    "log_buckets",
+    "merge_snapshots",
     "parse_size",
     "replay_trace",
     "write_snapshot",

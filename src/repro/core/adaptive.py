@@ -63,7 +63,9 @@ class AdaptiveAllocator:
         self.total_capacity = total_capacity
         self.target_fraction = target_fraction
         self.slack = slack
-        self.step_bytes = int(total_capacity * step_fraction)
+        # A sub-byte step would round to 0 on tiny caches and freeze the
+        # N/Z boundary forever; one byte is the smallest honest move.
+        self.step_bytes = max(1, int(total_capacity * step_fraction))
         self.window_seconds = window_seconds
         floor = int(total_capacity * min_zone_fraction)
         self._min_target = floor

@@ -23,6 +23,7 @@ identical request sequence; ``tests/core/test_replay_paths.py`` pins that.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -55,6 +56,37 @@ class ReplayStats:
         return self.get_misses / denominator
 
 
+#: Sample every Nth measured request into the latency histogram when a
+#: registry is supplied; amortises the two timer calls far below the
+#: per-request cache work (the 5 % metrics-overhead budget).
+LATENCY_SAMPLE_EVERY = 64
+
+
+class _ReplayMetrics:
+    """Instrument bundle for one replay; no-op when registry is off."""
+
+    def __init__(self, registry) -> None:
+        self.timer = time.perf_counter
+        self.latency = registry.histogram(
+            "replay_request_seconds",
+            "sampled per-request wall latency (measured phase)",
+            timing=True,
+        )
+        self.warmup_seconds = registry.gauge(
+            "replay_warmup_seconds", "wall time of the warmup phase", timing=True
+        )
+        self.measured_seconds = registry.gauge(
+            "replay_measured_seconds",
+            "wall time of the measured phase",
+            timing=True,
+        )
+        self.registry = registry
+
+    def finish(self, stats: "ReplayStats") -> None:
+        """Mount the finished stats so the snapshot carries the tallies."""
+        self.registry.mount("replay", stats, replace=True)
+
+
 def replay_trace(
     cache,
     trace: Trace,
@@ -66,6 +98,7 @@ def replay_trace(
     on_request: Optional[Callable[[int, int], None]] = None,
     batched: bool = True,
     faults=None,
+    registry=None,
 ) -> ReplayStats:
     """Replay ``trace`` against ``cache`` with real bytes.
 
@@ -78,12 +111,16 @@ def replay_trace(
     :class:`~repro.faults.injector.FaultInjector`) gets
     ``on_request(position, clock=, cache=)`` *before* each request so it
     can skew the clock or squeeze capacity; it also forces the reference
-    loop.
+    loop.  ``registry`` (a :class:`~repro.metrics.MetricsRegistry`)
+    collects per-phase wall timings, the final request tallies, and a
+    sampled per-request latency histogram; it never changes the request
+    sequence the cache sees, and a disabled registry costs nothing.
     """
     if request_rate <= 0:
         raise ValueError(f"request_rate must be positive, got {request_rate}")
+    metrics = _ReplayMetrics(registry) if registry else None
     if not batched or on_request is not None or faults is not None:
-        return _replay_reference(
+        stats = _replay_reference(
             cache,
             trace,
             value_source,
@@ -93,16 +130,22 @@ def replay_trace(
             demand_fill,
             on_request,
             faults,
+            metrics,
         )
-    return _replay_batched(
-        cache,
-        trace,
-        value_source,
-        clock,
-        request_rate,
-        warmup_fraction,
-        demand_fill,
-    )
+    else:
+        stats = _replay_batched(
+            cache,
+            trace,
+            value_source,
+            clock,
+            request_rate,
+            warmup_fraction,
+            demand_fill,
+            metrics,
+        )
+    if metrics is not None:
+        metrics.finish(stats)
+    return stats
 
 
 def _replay_reference(
@@ -115,11 +158,14 @@ def _replay_reference(
     demand_fill: bool,
     on_request: Optional[Callable[[int, int], None]],
     faults=None,
+    metrics: Optional["_ReplayMetrics"] = None,
 ) -> ReplayStats:
     """Per-entry loop: one branch tree per request, stats updated inline."""
     warmup = int(len(trace) * warmup_fraction)
     tick = 1.0 / request_rate
     stats = ReplayStats()
+    timer = metrics.timer if metrics is not None else None
+    phase_started = timer() if timer is not None else 0.0
     for position, (op, key_id, _size) in enumerate(trace):
         if clock is not None:
             clock.advance(tick)
@@ -127,6 +173,13 @@ def _replay_reference(
             faults.on_request(position, clock=clock, cache=cache)
         key = trace.key_bytes(key_id)
         measuring = position >= warmup
+        started = None
+        if timer is not None and measuring:
+            if position == warmup:
+                metrics.warmup_seconds.set(timer() - phase_started)
+                phase_started = timer()
+            if (position - warmup) % LATENCY_SAMPLE_EVERY == 0:
+                started = timer()
         if op == OP_GET:
             value = cache.get(key)
             if measuring:
@@ -145,8 +198,12 @@ def _replay_reference(
             cache.delete(key)
             if measuring:
                 stats.deletes += 1
+        if started is not None:
+            metrics.latency.observe(timer() - started)
         if on_request is not None:
             on_request(position, op)
+    if timer is not None:
+        metrics.measured_seconds.set(timer() - phase_started)
     return stats
 
 
@@ -158,12 +215,16 @@ def _replay_batched(
     request_rate: float,
     warmup_fraction: float,
     demand_fill: bool,
+    metrics: Optional["_ReplayMetrics"] = None,
 ) -> ReplayStats:
     """Array-driven loop: same request sequence, minimal per-request work.
 
     The trace's op/key columns are materialised once as plain Python ints
     (``tolist`` on the numpy views), wire keys are pre-rendered per
     distinct key id, and the warmup prefix runs in a counter-free loop.
+    With ``metrics``, the measured phase runs an instrumented twin of the
+    same loop (identical cache calls; every ``LATENCY_SAMPLE_EVERY``-th
+    request is timed) so the metrics-off path stays branch-free.
     """
     warmup = int(len(trace) * warmup_fraction)
     tick = 1.0 / request_rate
@@ -181,6 +242,9 @@ def _replay_batched(
     cache_delete = cache.delete
     fill_value = value_source.value
 
+    timer = metrics.timer if metrics is not None else None
+    phase_started = timer() if timer is not None else 0.0
+
     # Warmup prefix: drive the cache, count nothing.
     for op, key_id in zip(op_list[:warmup], key_list[:warmup]):
         if advance is not None:
@@ -194,24 +258,58 @@ def _replay_batched(
         elif op == OP_DELETE:
             cache_delete(key)
 
+    if timer is not None:
+        metrics.warmup_seconds.set(timer() - phase_started)
+        phase_started = timer()
+
     gets = get_misses = sets = deletes = demand_fills = 0
-    for op, key_id in zip(op_list[warmup:], key_list[warmup:]):
-        if advance is not None:
-            advance(tick)
-        key = key_bytes[key_id]
-        if op == OP_GET:
-            gets += 1
-            if cache_get(key) is None:
-                get_misses += 1
-                if demand_fill:
-                    cache_set(key, fill_value(key_id))
-                    demand_fills += 1
-        elif op == OP_SET:
-            cache_set(key, fill_value(key_id))
-            sets += 1
-        elif op == OP_DELETE:
-            cache_delete(key)
-            deletes += 1
+    if timer is None:
+        for op, key_id in zip(op_list[warmup:], key_list[warmup:]):
+            if advance is not None:
+                advance(tick)
+            key = key_bytes[key_id]
+            if op == OP_GET:
+                gets += 1
+                if cache_get(key) is None:
+                    get_misses += 1
+                    if demand_fill:
+                        cache_set(key, fill_value(key_id))
+                        demand_fills += 1
+            elif op == OP_SET:
+                cache_set(key, fill_value(key_id))
+                sets += 1
+            elif op == OP_DELETE:
+                cache_delete(key)
+                deletes += 1
+    else:
+        observe = metrics.latency.observe
+        countdown = 0
+        for op, key_id in zip(op_list[warmup:], key_list[warmup:]):
+            if advance is not None:
+                advance(tick)
+            key = key_bytes[key_id]
+            if countdown == 0:
+                countdown = LATENCY_SAMPLE_EVERY
+                started = timer()
+            else:
+                started = None
+            countdown -= 1
+            if op == OP_GET:
+                gets += 1
+                if cache_get(key) is None:
+                    get_misses += 1
+                    if demand_fill:
+                        cache_set(key, fill_value(key_id))
+                        demand_fills += 1
+            elif op == OP_SET:
+                cache_set(key, fill_value(key_id))
+                sets += 1
+            elif op == OP_DELETE:
+                cache_delete(key)
+                deletes += 1
+            if started is not None:
+                observe(timer() - started)
+        metrics.measured_seconds.set(timer() - phase_started)
     return ReplayStats(
         gets=gets,
         get_misses=get_misses,

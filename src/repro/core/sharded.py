@@ -133,6 +133,53 @@ class ShardedZExpander:
                 totals[name] += getattr(stats, name)
         return totals
 
+    def bind_metrics(self, registry, prefix: str = "cache") -> None:
+        """Mount fleet-wide totals into a metrics registry.
+
+        Per-field views sum lazily over the shards at snapshot time, so
+        the fleet exposes the same metric names a single instance does
+        (plus shard-shape gauges) and per-shard hot paths stay untouched.
+        """
+
+        def summed(group: str, field: str):
+            if group == "stats":
+                return lambda: sum(
+                    getattr(shard.stats, field) for shard in self.shards
+                )
+            return lambda: sum(
+                getattr(shard.zzone.stats, field) for shard in self.shards
+            )
+
+        for field in sorted(vars(self.shards[0].stats)):
+            registry.view(
+                f"{prefix}_{field}",
+                summed("stats", field),
+                f"fleet total of ZExpanderStats.{field}",
+            )
+        for field in sorted(vars(self.shards[0].zzone.stats)):
+            registry.view(
+                f"{prefix}_zzone_{field}",
+                summed("zzone", field),
+                f"fleet total of ZZoneStats.{field}",
+            )
+        registry.view(
+            f"{prefix}_used_bytes", lambda: self.used_bytes, "resident bytes"
+        )
+        registry.view(
+            f"{prefix}_capacity_bytes", lambda: self.capacity, "total budget"
+        )
+        registry.view(
+            f"{prefix}_item_count", lambda: self.item_count, "resident items"
+        )
+        registry.view(
+            f"{prefix}_shards", lambda: self.num_shards, "shard count"
+        )
+        registry.view(
+            f"{prefix}_shard_imbalance",
+            self.imbalance,
+            "max-over-mean item count across shards",
+        )
+
     def shard_miss_ratios(self) -> List[float]:
         return [shard.stats.miss_ratio for shard in self.shards]
 

@@ -195,6 +195,47 @@ class ZExpander:
             "zzone": self.zzone.memory_usage(),
         }
 
+    def bind_metrics(self, registry, prefix: str = "cache") -> None:
+        """Mount this cache's counters into a metrics registry.
+
+        Every ``ZExpanderStats``/``ZZoneStats`` field (N/Z hits, sweeps,
+        quarantines, adaptive steps, marker probes, ...) becomes a
+        snapshot-time view — the request path keeps its plain attribute
+        increments, so binding costs nothing per operation.
+        """
+        registry.mount(prefix, self.stats)
+        registry.mount(f"{prefix}_zzone", self.zzone.stats)
+        registry.view(
+            f"{prefix}_used_bytes", lambda: self.used_bytes, "resident bytes"
+        )
+        registry.view(
+            f"{prefix}_capacity_bytes", lambda: self.capacity, "total budget"
+        )
+        registry.view(
+            f"{prefix}_item_count", lambda: self.item_count, "resident items"
+        )
+        registry.view(
+            f"{prefix}_nzone_capacity_bytes",
+            lambda: self.nzone.capacity,
+            "current N-zone budget (moves under adaptation)",
+        )
+        registry.view(
+            f"{prefix}_zzone_capacity_bytes",
+            lambda: self.zzone.capacity,
+            "current Z-zone budget (moves under adaptation)",
+        )
+        registry.view(
+            f"{prefix}_locality_benchmark_seconds",
+            lambda: self.benchmark.value or 0.0,
+            "marker-measured re-use-time benchmark (0 until first sample)",
+        )
+        if self.allocator is not None:
+            registry.view(
+                f"{prefix}_nzone_target_bytes",
+                lambda: self.allocator.nzone_target,
+                "adaptive allocator's N-zone target",
+            )
+
     # -- internals -------------------------------------------------------------
 
     def _record_service(self, nzone: bool) -> None:

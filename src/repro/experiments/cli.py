@@ -162,6 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault plan armed on the cache (chaos demos)",
     )
 
+    stats_parser = subparsers.add_parser(
+        "stats", help="fetch and render a running server's metrics"
+    )
+    stats_parser.add_argument("--host", default="127.0.0.1")
+    stats_parser.add_argument("--port", type=int, default=11311)
+    stats_parser.add_argument("--deadline", type=float, default=2.0)
+    stats_parser.add_argument(
+        "--format",
+        choices=("kv", "json", "prom"),
+        default="kv",
+        help="kv: 'name value' lines; json: one object; prom: "
+        "Prometheus-style exposition of the numeric stats",
+    )
+
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="drive a server with seeded, self-verifying traffic"
     )
@@ -194,12 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
 def run_experiment(name: str, scale: Scale) -> None:
     module_name, _description = EXPERIMENTS[name]
     module = importlib.import_module(module_name)
-    started = time.time()
+    # Monotonic, not wall: an NTP step mid-run would skew (or negate)
+    # the reported duration.  Matches experiments/parallel.py.
+    started = time.monotonic()
     if name in _SCALELESS:
         result = module.run()
     else:
         result = module.run(scale)
-    elapsed = time.time() - started
+    elapsed = time.monotonic() - started
     print(result.table())
     print(f"[{name} finished in {elapsed:.1f}s]\n")
 
@@ -310,6 +326,63 @@ def run_serve_command(args) -> int:
     return asyncio.run(serve())
 
 
+def render_stats(stats: Dict[str, str], fmt: str) -> str:
+    """Render a ``stats`` reply as kv lines, JSON, or Prometheus text."""
+    if fmt == "json":
+        import json
+
+        typed = {}
+        for name in sorted(stats):
+            value = stats[name]
+            try:
+                typed[name] = int(value)
+            except ValueError:
+                try:
+                    typed[name] = float(value)
+                except ValueError:
+                    typed[name] = value
+        return json.dumps(typed, indent=2, sort_keys=True)
+    if fmt == "prom":
+        lines = []
+        for name in sorted(stats):
+            value = stats[name]
+            try:
+                float(value)
+            except ValueError:
+                continue  # prom exposition carries numbers only
+            lines.append(f"repro_{name} {value}")
+        return "\n".join(lines)
+    width = max(len(name) for name in stats) if stats else 0
+    return "\n".join(f"{name:<{width}}  {stats[name]}" for name in sorted(stats))
+
+
+def run_stats_command(args) -> int:
+    import asyncio
+
+    from repro.server.client import MemcacheClient
+
+    async def fetch():
+        client = MemcacheClient(
+            host=args.host, port=args.port, pool_size=1, deadline=args.deadline
+        )
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    try:
+        stats = asyncio.run(fetch())
+    except ConnectionRefusedError:
+        print(
+            f"error: no server at {args.host}:{args.port} (start one with "
+            "'serve')",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_stats(stats, args.format))
+    return 0
+
+
 def run_loadgen_command(args) -> int:
     import asyncio
 
@@ -348,6 +421,8 @@ def main(argv=None) -> int:
         return run_serve_command(args)
     if args.command == "loadgen":
         return run_loadgen_command(args)
+    if args.command == "stats":
+        return run_stats_command(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_module, description) in EXPERIMENTS.items():

@@ -9,20 +9,38 @@ it happened, not at the end of a million-request run.
 
 from __future__ import annotations
 
+from repro.metrics.registry import NULL_INSTRUMENT
+
 
 class InvariantAuditor:
     """Calls ``cache.check_invariants()`` every ``interval`` requests."""
 
-    def __init__(self, cache, interval: int = 512) -> None:
+    def __init__(self, cache, interval: int = 512, registry=None) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.cache = cache
         self.interval = interval
         #: Completed audits; chaos reports this to prove the auditor ran.
         self.audits = 0
+        if registry is not None:
+            self._audits_metric = registry.counter(
+                "auditor_audits_total", "completed invariant audits"
+            )
+            self._failures_metric = registry.counter(
+                "auditor_invariant_failures_total",
+                "invariant checks that raised",
+            )
+        else:
+            self._audits_metric = NULL_INSTRUMENT
+            self._failures_metric = NULL_INSTRUMENT
 
     def on_request(self, position: int, op: int = 0) -> None:
         """Replay instrumentation hook (matches ``on_request(pos, op)``)."""
         if position % self.interval == 0:
-            self.cache.check_invariants()
+            try:
+                self.cache.check_invariants()
+            except Exception:
+                self._failures_metric.inc()
+                raise
             self.audits += 1
+            self._audits_metric.inc()

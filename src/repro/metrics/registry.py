@@ -1,0 +1,462 @@
+"""Dependency-free metrics: counters, gauges, log-bucket histograms.
+
+One :class:`MetricsRegistry` per process (or per server/replay) is the
+single exposition surface for every counter the reproduction keeps —
+cache-core ``*Stats`` dataclasses, admission-control tallies, serving
+and replay timings.  Three design rules shape it:
+
+* **Hot paths stay hot.**  The cache core mutates its existing plain
+  dataclass counters; the registry *mounts* them as views read only at
+  ``snapshot()`` time (:meth:`MetricsRegistry.mount`), so enabling
+  metrics adds zero work per request on the data plane.  Only genuinely
+  new measurements (latencies, payload sizes) are owned instruments.
+* **Near-zero-overhead no-op mode.**  A disabled registry hands out
+  shared null instruments whose ``inc``/``observe`` are empty methods;
+  call sites keep one attribute lookup and one no-op call, no branches.
+* **Deterministic, mergeable snapshots.**  Buckets are fixed and
+  log-spaced, so histograms from different shards or processes merge by
+  plain element-wise addition (:func:`merge_snapshots`), and the same
+  request sequence renders byte-identical exposition text (timing
+  instruments are flagged and can be excluded for golden comparisons).
+
+Rendering is dual: ``to_json()`` for tooling, ``to_prometheus()`` for
+the conventional text exposition format.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+def log_buckets(
+    lo: float = 1e-6, hi: float = 10.0, per_decade: int = 5
+) -> List[float]:
+    """Log-spaced bucket upper bounds covering [``lo``, ``hi``].
+
+    The defaults span 1 µs to 10 s — wide enough for both a Z-zone block
+    decompression and a drain-deadline stall — at 5 buckets per decade
+    (~58 % resolution), the classic Prometheus-style trade-off between
+    fidelity and mergeable fixed cost.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    decades = math.log10(hi / lo)
+    count = int(round(decades * per_decade))
+    # Powers of 10**(1/per_decade), snapped to repr-stable rounding so
+    # every process derives bit-identical bounds from the same spec.
+    return [round(lo * 10 ** (i / per_decade), 12) for i in range(count + 1)]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram over log-spaced bounds.
+
+    ``observe`` is a bisect into the bounds plus two adds; ``merge`` is
+    element-wise addition, valid across shards and processes because the
+    bounds are fixed by construction.  ``percentile`` interpolates
+    linearly inside the landing bucket (exact enough for p50/p99
+    reporting; the raw buckets are what gets exposed).
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "_count", "_sum")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = list(bounds) if bounds is not None else log_buckets()
+        if self.bounds != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        # One overflow bucket past the last bound (le="+Inf").
+        self.counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` (same bounds) into this histogram."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name} vs {other.name})"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self._count += other._count
+        self._sum += other._sum
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` (0–100); 0.0 when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = (q / 100.0) * self._count
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank and count:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.bounds[-1]
+                )
+                fraction = (rank - (cumulative - count)) / count
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1]
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+    value = 0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def percentile(self, q) -> float:
+        return 0.0
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Instrument factory + deterministic snapshot/exposition surface.
+
+    ``enabled=False`` turns every factory into a supplier of the shared
+    :data:`NULL_INSTRUMENT` and every snapshot into ``{}``; callers keep
+    their instrument handles and pay only an empty method call.
+    """
+
+    def __init__(self, enabled: bool = True, namespace: str = "repro") -> None:
+        self.enabled = enabled
+        self.namespace = namespace
+        self._instruments: Dict[str, object] = {}
+        #: name -> (callable, help); read lazily at snapshot time.
+        self._views: Dict[str, tuple] = {}
+        #: Instrument/view names whose values depend on wall-clock timing
+        #: (excluded from golden/deterministic comparisons).
+        self._timing: set = set()
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # -- instrument factories --------------------------------------------------
+
+    def counter(self, name: str, help: str = "", timing: bool = False):
+        return self._register(Counter, name, help, timing)
+
+    def gauge(self, name: str, help: str = "", timing: bool = False):
+        return self._register(Gauge, name, help, timing)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+        timing: bool = False,
+    ):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        if name in self._instruments:
+            return self._existing(Histogram, name)
+        instrument = Histogram(name, help, bounds)
+        self._instruments[name] = instrument
+        if timing:
+            self._timing.add(name)
+        return instrument
+
+    def _register(self, cls, name: str, help: str, timing: bool):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        if name in self._instruments:
+            return self._existing(cls, name)
+        instrument = cls(name, help)
+        self._instruments[name] = instrument
+        if timing:
+            self._timing.add(name)
+        return instrument
+
+    def _existing(self, cls, name: str):
+        instrument = self._instruments[name]
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    # -- views (lazy reads over existing state) --------------------------------
+
+    def view(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help: str = "",
+        timing: bool = False,
+        replace: bool = False,
+    ) -> None:
+        """Expose ``fn()``'s value under ``name`` at snapshot time.
+
+        ``replace=True`` rebinds an existing view (e.g. a second replay
+        mounting its fresh stats object); otherwise duplicates raise.
+        """
+        if not self.enabled:
+            return
+        if name in self._instruments:
+            raise ValueError(f"metric {name!r} already registered")
+        if name in self._views and not replace:
+            raise ValueError(f"metric {name!r} already registered")
+        self._views[name] = (fn, help)
+        if timing:
+            self._timing.add(name)
+
+    def mount(
+        self,
+        prefix: str,
+        obj,
+        fields: Optional[Sequence[str]] = None,
+        replace: bool = False,
+    ) -> None:
+        """Mount every numeric field of a stats dataclass as a view.
+
+        The object stays the mutation site (its hot-path increments are
+        untouched); the registry reads ``getattr(obj, field)`` lazily.
+        """
+        if not self.enabled:
+            return
+        names = fields if fields is not None else sorted(vars(obj))
+        for field in names:
+            if field.startswith("_"):
+                continue
+            value = getattr(obj, field)
+            if not isinstance(value, (int, float)):
+                continue
+            self.view(
+                f"{prefix}_{field}",
+                (lambda o=obj, f=field: getattr(o, f)),
+                help=f"{type(obj).__name__}.{field}",
+                replace=replace,
+            )
+
+    # -- snapshot + rendering --------------------------------------------------
+
+    def snapshot(self, include_timing: bool = True) -> Dict[str, object]:
+        """Name-sorted plain-data snapshot.
+
+        Counters/gauges/views map to numbers; histograms to
+        ``{"count", "sum", "bounds", "counts"}``.  ``include_timing=False``
+        drops wall-clock-dependent series, leaving only values that are a
+        pure function of the request sequence (golden-comparable).
+        """
+        if not self.enabled:
+            return {}
+        out: Dict[str, object] = {}
+        for name in sorted(set(self._instruments) | set(self._views)):
+            if not include_timing and name in self._timing:
+                continue
+            if name in self._views:
+                out[name] = self._views[name][0]()
+                continue
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = {
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                }
+            else:
+                out[name] = instrument.value
+        return out
+
+    def to_json(self, include_timing: bool = True) -> str:
+        return json.dumps(
+            self.snapshot(include_timing=include_timing),
+            indent=2,
+            sort_keys=True,
+        )
+
+    def to_prometheus(self, include_timing: bool = True) -> str:
+        """Prometheus-style text exposition (no labels, ``le`` excepted)."""
+        lines: List[str] = []
+        snap = self.snapshot(include_timing=include_timing)
+        for name, value in snap.items():
+            full = f"{self.namespace}_{name}"
+            help_text, kind = self._describe(name)
+            if help_text:
+                lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            if isinstance(value, dict):
+                cumulative = 0
+                for bound, count in zip(value["bounds"], value["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f'{full}_bucket{{le="{_format(bound)}"}} {cumulative}'
+                    )
+                cumulative += value["counts"][-1]
+                lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{full}_sum {_format(value['sum'])}")
+                lines.append(f"{full}_count {value['count']}")
+            else:
+                lines.append(f"{full} {_format(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def _describe(self, name: str) -> tuple:
+        if name in self._views:
+            return self._views[name][1], "gauge"
+        instrument = self._instruments[name]
+        return instrument.help, instrument.kind
+
+    def summary(
+        self, include_timing: bool = True, views: bool = True
+    ) -> Dict[str, object]:
+        """Flat numeric mapping for ``stats``-style key/value exposition.
+
+        Histograms flatten to ``_count``/``_sum``/``_p50``/``_p99``
+        suffixes so every value is a single parseable number.
+        ``views=False`` keeps only owned instruments — callers that
+        already expose the mounted state (e.g. the server's ``stats``
+        command) use it to avoid double-reporting.
+        """
+        out: Dict[str, object] = {}
+        for name, value in self.snapshot(include_timing=include_timing).items():
+            if not views and name in self._views:
+                continue
+            if isinstance(value, dict):
+                instrument = self._instruments[name]
+                out[f"{name}_count"] = value["count"]
+                out[f"{name}_sum"] = round(value["sum"], 9)
+                out[f"{name}_p50"] = round(instrument.percentile(50.0), 9)
+                out[f"{name}_p99"] = round(instrument.percentile(99.0), 9)
+            else:
+                out[name] = value
+        return out
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Merge per-shard/per-process snapshots by summation.
+
+    Counters and gauges add; histograms require identical bounds and add
+    element-wise.  Metrics absent from some snapshots merge from those
+    that have them, so heterogeneous shards still aggregate.
+    """
+    merged: Dict[str, object] = {}
+    for snap in snapshots:
+        for name, value in snap.items():
+            if name not in merged:
+                merged[name] = (
+                    dict(value, counts=list(value["counts"]))
+                    if isinstance(value, dict)
+                    else value
+                )
+                continue
+            existing = merged[name]
+            if isinstance(value, dict) != isinstance(existing, dict):
+                raise ValueError(f"metric {name!r} has mixed shapes")
+            if isinstance(value, dict):
+                if value["bounds"] != existing["bounds"]:
+                    raise ValueError(
+                        f"metric {name!r} has mismatched histogram bounds"
+                    )
+                existing["count"] += value["count"]
+                existing["sum"] += value["sum"]
+                for index, count in enumerate(value["counts"]):
+                    existing["counts"][index] += count
+            else:
+                merged[name] = existing + value
+    return dict(sorted(merged.items()))
+
+
+def _format(value) -> str:
+    """Repr-stable number formatting (ints stay ints)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

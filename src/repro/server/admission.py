@@ -42,6 +42,14 @@ class ServerState(enum.Enum):
     BRICK_WALL = "brick_wall"
 
 
+#: Numeric codes for gauge exposition (dashboards can't plot strings).
+_STATE_CODES = {
+    ServerState.HEALTHY: 0,
+    ServerState.SHEDDING: 1,
+    ServerState.BRICK_WALL: 2,
+}
+
+
 class TickClock:
     """A deterministic clock advancing a fixed ``dt`` per reading.
 
@@ -165,6 +173,24 @@ class AdmissionController:
         self.bucket = TokenBucket(self.config.rate, self.config.burst)
         self.state = ServerState.HEALTHY
         self.stats = AdmissionStats()
+
+    def bind_metrics(self, registry, prefix: str = "admission") -> None:
+        """Mount admission counters + live gauges into a metrics registry.
+
+        The decision path keeps its plain dataclass increments; the
+        registry reads them (and the bucket/state) only at snapshot time.
+        """
+        registry.mount(prefix, self.stats)
+        registry.view(
+            f"{prefix}_tokens",
+            lambda: self.bucket.tokens,
+            "token-bucket fill level",
+        )
+        registry.view(
+            f"{prefix}_state_code",
+            lambda: _STATE_CODES[self.state],
+            "0=healthy 1=shedding 2=brick_wall",
+        )
 
     def admit(self, zzone_bound: bool, inflight: int) -> bool:
         """True to execute the request, False to answer ``overloaded``.

@@ -145,11 +145,23 @@ class MemcacheClient:
             raise
 
     def _release(self, conn: _Connection, healthy: bool) -> None:
-        if healthy:
-            self._pool.put_nowait(conn)
-        else:
+        """Return a slot to the pool; must succeed on every code path.
+
+        Pool-size conservation is the invariant: every ``_pool.get()``
+        is matched by exactly one put, even when the caller was
+        cancelled.  ``put_nowait`` can only find the queue full when
+        :meth:`close` refilled it while this request was inflight; the
+        extra connection is dropped rather than crashing in a ``finally``
+        block (slot count stays at ``pool_size``).
+        """
+        slot = conn if healthy else None
+        if not healthy:
             conn.close()
-            self._pool.put_nowait(None)
+        try:
+            self._pool.put_nowait(slot)
+        except asyncio.QueueFull:
+            if slot is not None:
+                slot.close()
 
     async def close(self) -> None:
         """Close every pooled connection."""
@@ -168,6 +180,12 @@ class MemcacheClient:
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.retry.max_attempts + 1):
             conn = await self._acquire()
+            # From this point the slot is held; the finally below is the
+            # only return path.  A CancelledError out of wait_for (caller
+            # cancellation, loop shutdown) is deliberately NOT caught by
+            # the except arms — it falls through to the finally, which
+            # returns the slot, then propagates.  Without that, every
+            # cancelled request would permanently shrink the pool.
             healthy = False
             try:
                 result = await asyncio.wait_for(op(conn), self.deadline)

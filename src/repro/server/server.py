@@ -25,6 +25,7 @@ Robustness is the design driver, not protocol coverage:
 from __future__ import annotations
 
 import asyncio
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -32,6 +33,7 @@ from typing import Dict, List, Optional
 from repro import __version__
 from repro.core.snapshot import LoadResult, load_snapshot, write_snapshot
 from repro.faults.auditor import InvariantAuditor
+from repro.metrics import MetricsRegistry, log_buckets
 from repro.server import protocol
 from repro.server.admission import (
     AdmissionConfig,
@@ -66,6 +68,9 @@ class ServerConfig:
     snapshot_path: Optional[str] = None
     #: Re-verify cache invariants every N commands (0 = off).
     audit_interval: int = 0
+    #: Unified observability: request-latency/payload histograms plus
+    #: mounted cache/admission/server counters, exposed via ``stats``.
+    metrics: bool = True
 
     def validate(self) -> None:
         if self.read_timeout <= 0 or self.write_timeout <= 0:
@@ -122,8 +127,36 @@ class CacheServer:
         else:
             self.admission = AdmissionController(self.config.admission)
         self.stats = ServerStats()
+        self.registry = MetricsRegistry(enabled=self.config.metrics)
+        self._timer = time.perf_counter if self.config.metrics else None
+        self._latency_hist = self.registry.histogram(
+            "server_request_seconds",
+            "execute latency of admitted commands",
+            timing=True,
+        )
+        _payload_bounds = log_buckets(1.0, float(1 << 20), per_decade=3)
+        self._get_bytes_hist = self.registry.histogram(
+            "server_get_value_bytes",
+            "value sizes returned by GET hits",
+            bounds=_payload_bounds,
+        )
+        self._set_bytes_hist = self.registry.histogram(
+            "server_set_value_bytes",
+            "value sizes accepted by SET",
+            bounds=_payload_bounds,
+        )
+        self.registry.mount("server", self.stats)
+        self.registry.view(
+            "server_inflight", lambda: self._inflight, "requests executing now"
+        )
+        self.admission.bind_metrics(self.registry)
+        bind_cache = getattr(cache, "bind_metrics", None)
+        if bind_cache is not None:
+            bind_cache(self.registry)
         self.auditor: Optional[InvariantAuditor] = (
-            InvariantAuditor(cache, self.config.audit_interval)
+            InvariantAuditor(
+                cache, self.config.audit_interval, registry=self.registry
+            )
             if self.config.audit_interval
             else None
         )
@@ -306,7 +339,12 @@ class CacheServer:
         self._inflight += 1
         try:
             self._tick_clock()
-            reply = self._execute(command)
+            if self._timer is not None:
+                started = self._timer()
+                reply = self._execute(command)
+                self._latency_hist.observe(self._timer() - started)
+            else:
+                reply = self._execute(command)
             self._fault_hook(command)
         finally:
             self._inflight -= 1
@@ -346,12 +384,14 @@ class CacheServer:
                     self.stats.get_misses += 1
                     continue
                 self.stats.get_hits += 1
+                self._get_bytes_hist.observe(len(value))
                 cas = zlib.crc32(value) if with_cas else None
                 chunks.append(protocol.encode_value(key, value, cas=cas))
             chunks.append(protocol.END)
             return b"".join(chunks)
         if command.name == "set":
             self.stats.cmd_set += 1
+            self._set_bytes_hist.observe(len(command.value))
             ttl = command.exptime if command.exptime > 0 else None
             try:
                 self.cache.set(command.keys[0], command.value, ttl=ttl)
@@ -426,7 +466,16 @@ class CacheServer:
                     "emergency_sweeps",
                 ):
                     out["integrity_" + name] = getattr(zstats, name)
+        # Owned registry instruments (latency/payload histograms flattened
+        # to _count/_sum/_p50/_p99, auditor counters); mounted views are
+        # skipped — their state is already reported above.
+        for name, value in self.registry.summary(views=False).items():
+            out["metrics_" + name] = value
         return out
+
+    def prometheus_text(self, include_timing: bool = True) -> str:
+        """Full registry exposition (``cli stats --format prom`` backend)."""
+        return self.registry.to_prometheus(include_timing=include_timing)
 
     @property
     def healthy(self) -> bool:

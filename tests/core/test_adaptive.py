@@ -103,3 +103,44 @@ class TestAdaptiveAllocator:
             make_allocator(initial_nzone_target=0)
         with pytest.raises(ValueError):
             make_allocator(initial_nzone_target=1000)
+
+    # -- regression: tiny caches must still be able to move the boundary ---
+
+    def test_tiny_cache_step_clamps_to_one_byte(self):
+        # 20 * 0.03 = 0.6 bytes truncates to 0; before the clamp the
+        # boundary froze forever on small caches.
+        allocator = make_allocator(
+            total_capacity=20,
+            initial_nzone_target=10,
+            min_zone_fraction=0.0,
+        )
+        assert allocator.step_bytes == 1
+        allocator.maybe_adjust(0.0)
+        changed = feed_window(allocator, nzone=50, zzone=50, start=0, end=61)
+        assert changed is True
+        assert allocator.nzone_target == 11  # moved by exactly the clamp
+
+    def test_tiny_cache_boundary_keeps_moving(self):
+        allocator = make_allocator(
+            total_capacity=20,
+            initial_nzone_target=10,
+            min_zone_fraction=0.0,
+        )
+        allocator.maybe_adjust(0.0)
+        start = allocator.nzone_target
+        for window in range(3):
+            feed_window(
+                allocator, 50, 50, window * 61.0, (window + 1) * 61.0
+            )
+        assert allocator.nzone_target == start + 3
+
+    def test_empty_window_after_traffic_does_not_step(self):
+        # A window with zero recorded service must not move the target
+        # (fraction_nzone() is None); only the window bookkeeping resets.
+        allocator = make_allocator()
+        allocator.maybe_adjust(0.0)
+        feed_window(allocator, 50, 50, 0, 61)
+        target = allocator.nzone_target
+        assert allocator.maybe_adjust(122.0) is False  # traffic-free window
+        assert allocator.nzone_target == target
+        assert allocator.action is AllocationAction.STAY

@@ -40,3 +40,74 @@ class TestCli:
             module = importlib.import_module(module_name)
             assert hasattr(module, "run"), name
             assert hasattr(module, "main"), name
+
+
+class TestRunExperimentClock:
+    def test_elapsed_survives_backwards_wall_clock(self, monkeypatch, capsys):
+        """A wall-clock step (NTP, DST) must not yield negative durations."""
+        import itertools
+        import sys
+        import time
+        import types
+
+        from repro.experiments import cli
+
+        fake = types.ModuleType("repro.experiments.fake_exp")
+
+        class _Result:
+            def table(self):
+                return "fake table"
+
+        fake.run = lambda scale: _Result()
+        fake.main = lambda: 0
+        monkeypatch.setitem(sys.modules, "repro.experiments.fake_exp", fake)
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "fake", ("repro.experiments.fake_exp", "fake")
+        )
+        # Wall clock running BACKWARDS: 1e9, 1e9 - 100, 1e9 - 200, ...
+        backwards = itertools.count(0)
+        monkeypatch.setattr(
+            time, "time", lambda: 1e9 - 100.0 * next(backwards)
+        )
+        cli.run_experiment("fake", scale=None)
+        out = capsys.readouterr().out
+        assert "fake table" in out
+        elapsed = float(out.split("finished in ")[1].split("s]")[0])
+        assert elapsed >= 0.0
+
+
+class TestRenderStats:
+    STATS = {"curr_items": "12", "hit_rate": "0.75", "version": "repro/1.0"}
+
+    def test_kv_is_sorted_and_aligned(self):
+        from repro.experiments.cli import render_stats
+
+        out = render_stats(self.STATS, "kv")
+        lines = out.splitlines()
+        assert [line.split()[0] for line in lines] == sorted(self.STATS)
+        assert lines[0].startswith("curr_items")
+
+    def test_json_types_values(self):
+        import json
+
+        from repro.experiments.cli import render_stats
+
+        data = json.loads(render_stats(self.STATS, "json"))
+        assert data["curr_items"] == 12
+        assert data["hit_rate"] == 0.75
+        assert data["version"] == "repro/1.0"
+
+    def test_prom_numeric_only(self):
+        from repro.experiments.cli import render_stats
+
+        out = render_stats(self.STATS, "prom")
+        assert "repro_curr_items 12" in out
+        assert "repro_hit_rate 0.75" in out
+        assert "version" not in out
+
+    def test_stats_against_dead_port_exits_2(self, capsys):
+        code = main(
+            ["stats", "--port", "1", "--deadline", "0.5"]
+        )
+        assert code == 2
+        assert "no server" in capsys.readouterr().err

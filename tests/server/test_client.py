@@ -243,3 +243,79 @@ class TestFailureHandling:
             peer.close()
 
         asyncio.run(scenario())
+
+
+class TestPoolSlotConservation:
+    """Cancelled requests must not leak pool slots (satellite fix)."""
+
+    def test_cancellation_returns_every_slot(self):
+        async def scenario():
+            async def black_hole(_line):
+                await asyncio.sleep(3600.0)  # accept, never reply
+                return b"STORED\r\n"
+
+            peer = ScriptedServer([black_hole])
+            port = await peer.start()
+            pool_size = 3
+            client = MemcacheClient(
+                port=port,
+                pool_size=pool_size,
+                deadline=30.0,  # far longer than the test: only cancel ends it
+            )
+            # Exhaust the pool with requests that will never complete.
+            tasks = [
+                asyncio.create_task(client.set(b"key:%d" % i, b"v"))
+                for i in range(pool_size)
+            ]
+            await asyncio.sleep(0.05)
+            assert client._pool.qsize() == 0  # every slot held
+            for task in tasks:
+                task.cancel()
+            for task in tasks:
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+            # The finally in _call returned each slot on cancellation.
+            assert client._pool.qsize() == pool_size
+            peer.close()
+
+        asyncio.run(scenario())
+
+    def test_pool_usable_after_mass_cancellation(self):
+        async def scenario():
+            server, run_task = await real_server()
+            client = MemcacheClient(port=server.port, pool_size=2)
+            stuck = [
+                asyncio.create_task(client.get(b"warm:%d" % i))
+                for i in range(2)
+            ]
+            for task in stuck:
+                task.cancel()
+            await asyncio.gather(*stuck, return_exceptions=True)
+            assert client._pool.qsize() == 2
+            # Full pool-width traffic still works after the cancellations.
+            assert await client.set(b"after", b"cancel") is True
+            assert await client.get(b"after") == b"cancel"
+            await client.close()
+            server.begin_drain()
+            await run_task
+
+        asyncio.run(scenario())
+
+    def test_release_when_pool_already_full_drops_extra(self):
+        async def scenario():
+            client = MemcacheClient(pool_size=1)
+
+            class FakeConn:
+                closed = False
+
+                def close(self):
+                    self.closed = True
+
+            # Pool already holds its one slot; a stray release must not
+            # raise and must close the surplus connection.
+            extra = FakeConn()
+            client._release(extra, healthy=True)
+            assert extra.closed is True
+            assert client._pool.qsize() == 1
+
+        asyncio.run(scenario())
