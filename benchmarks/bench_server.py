@@ -27,9 +27,9 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.analysis.benchjson import (
     BenchRecord,
+    append_records,
     git_revision,
     percentile,
-    write_records,
 )
 from repro.core.config import ZExpanderConfig
 from repro.core.sharded import ShardedZExpander
@@ -59,6 +59,12 @@ async def _populate(client: MemcacheClient, keys: int, seed: int) -> None:
         await client.set(key_name(0, key_id), expected_value(seed, 0, key_id, 1))
 
 
+#: One revision probe per run: every record of a run carries the same
+#: rev (the one the whole run was measured at), and re-probing git per
+#: record could even disagree with itself mid-run.
+_GIT_REV: str = "unknown"
+
+
 def _record(name, config, samples_us, wall_s, ops):
     return BenchRecord(
         bench=name,
@@ -67,7 +73,7 @@ def _record(name, config, samples_us, wall_s, ops):
         p50_us=percentile(samples_us, 50) if samples_us else None,
         p99_us=percentile(samples_us, 99) if samples_us else None,
         wall_s=round(wall_s, 4),
-        git_rev=git_revision(),
+        git_rev=_GIT_REV,
     )
 
 
@@ -176,6 +182,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
+    global _GIT_REV
+    _GIT_REV = git_revision(REPO_ROOT)
 
     async def run_all():
         records = []
@@ -199,8 +207,11 @@ def main(argv=None) -> int:
         return records
 
     records = asyncio.run(run_all())
-    write_records(records, Path(args.out))
-    print(f"wrote {len(records)} records to {args.out}")
+    merged = append_records(records, Path(args.out))
+    print(
+        f"wrote {len(records)} records to {args.out} "
+        f"({len(merged)} total after merge)"
+    )
     return 0
 
 

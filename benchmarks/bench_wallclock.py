@@ -29,9 +29,9 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.analysis.benchjson import (
     BenchRecord,
+    append_records,
     git_revision,
     percentile,
-    write_records,
 )
 from repro.common.clock import VirtualClock
 from repro.common.hashing import hash_key
@@ -52,6 +52,11 @@ SCALES = {
     "bench": Scale(num_keys=3000, num_requests=60_000, seed=42),
 }
 _REQUEST_RATE = 50_000.0
+#: The Z-zone fast-path configuration the on/off benches (and the CI
+#: zzone-fastpath gate) measure: per-block write-combining append regions
+#: plus a decompressed-container LRU.
+FASTPATH_APPEND_REGION = 1024
+FASTPATH_CACHE_BLOCKS = 128
 
 
 def _scale_config(scale: Scale) -> dict:
@@ -62,7 +67,13 @@ def _scale_config(scale: Scale) -> dict:
     }
 
 
-def _build_mzx(scale: Scale, trace, capacity: int, verify_checksums: bool = True):
+def _build_mzx(
+    scale: Scale,
+    trace,
+    capacity: int,
+    verify_checksums: bool = True,
+    fastpath: bool = False,
+):
     clock = VirtualClock()
     config = ZExpanderConfig(
         total_capacity=capacity,
@@ -72,6 +83,8 @@ def _build_mzx(scale: Scale, trace, capacity: int, verify_checksums: bool = True
         marker_interval_seconds=0.5,
         seed=scale_seed(trace),
         verify_checksums=verify_checksums,
+        append_region_bytes=FASTPATH_APPEND_REGION if fastpath else 0,
+        decompressed_cache_blocks=FASTPATH_CACHE_BLOCKS if fastpath else 0,
     )
     return ZExpander(config, clock=clock), clock
 
@@ -390,8 +403,8 @@ def bench_metrics_overhead(scale: Scale, git_rev: str) -> list:
                 "request_rate": _REQUEST_RATE,
                 **_scale_config(scale),
             },
-            ops_per_sec=len(trace) / walls[False],
-            wall_s=walls[False],
+            ops_per_sec=len(trace) / walls["off"],
+            wall_s=walls["off"],
             git_rev=git_rev,
         ),
         BenchRecord(
@@ -421,6 +434,103 @@ def bench_metrics_overhead(scale: Scale, git_rev: str) -> list:
         ),
     ]
     return records
+
+
+def bench_fastpath(scale: Scale, git_rev: str) -> list:
+    """M-zX replay with the Z-zone fast path on vs off (best-of-3 each).
+
+    Interleaved (off, on, off, on, ...) so machine warmup and frequency
+    drift hit both sides equally.  The ``zzone_fastpath_speedup`` record
+    carries the on/off ratio the CI ``zzone-fastpath`` gate asserts
+    against (>= 1.5x at bench scale; the acceptance target is 2x).
+    """
+    trace = build_trace("ETC", scale)
+    values = build_value_source("ETC", trace, seed=scale.seed)
+    capacity = int(base_size_of("ETC", scale) * 2)
+    timer = time.perf_counter
+    # "anchor" is the memcached replay measured inside the same
+    # interleaved loop: the fastpath gate rescales committed numbers by
+    # it, so it must share this exact methodology (best-of-3, fresh
+    # cache per round) rather than reuse the single-shot
+    # replay_etc_memcached record.
+    walls = {"off": float("inf"), "on": float("inf"), "anchor": float("inf")}
+    fast_stats = None
+    for _ in range(3):
+        for mode in ("off", "on", "anchor"):
+            if mode == "anchor":
+                cache, clock = _build_memcached(capacity)
+            else:
+                cache, clock = _build_mzx(
+                    scale, trace, capacity, fastpath=(mode == "on")
+                )
+            started = timer()
+            replay_trace(
+                cache, trace, values, clock=clock, request_rate=_REQUEST_RATE
+            )
+            wall = timer() - started
+            if wall < walls[mode]:
+                walls[mode] = wall
+                if mode == "on":
+                    fast_stats = cache.zzone.stats
+    fast_config = {
+        "workload": "ETC",
+        "system": "mzx",
+        "capacity_multiple": 2.0,
+        "request_rate": _REQUEST_RATE,
+        "append_region_bytes": FASTPATH_APPEND_REGION,
+        "decompressed_cache_blocks": FASTPATH_CACHE_BLOCKS,
+        **_scale_config(scale),
+    }
+    return [
+        BenchRecord(
+            bench="replay_etc_mzx_fastpath_off",
+            config={
+                **fast_config,
+                "append_region_bytes": 0,
+                "decompressed_cache_blocks": 0,
+            },
+            ops_per_sec=len(trace) / walls["off"],
+            wall_s=walls["off"],
+            git_rev=git_rev,
+        ),
+        BenchRecord(
+            bench="replay_etc_mzx_fastpath_on",
+            config={
+                **fast_config,
+                "staged_puts": fast_stats.staged_puts,
+                "staging_flushes": fast_stats.staging_flushes,
+                "container_cache_hits": fast_stats.container_cache_hits,
+                "container_cache_misses": fast_stats.container_cache_misses,
+            },
+            ops_per_sec=len(trace) / walls["on"],
+            wall_s=walls["on"],
+            git_rev=git_rev,
+        ),
+        BenchRecord(
+            bench="replay_etc_fastpath_anchor",
+            config={
+                "workload": "ETC",
+                "system": "memcached",
+                "capacity_multiple": 2.0,
+                "request_rate": _REQUEST_RATE,
+                **_scale_config(scale),
+            },
+            ops_per_sec=len(trace) / walls["anchor"],
+            wall_s=walls["anchor"],
+            git_rev=git_rev,
+        ),
+        BenchRecord(
+            bench="zzone_fastpath_speedup",
+            config={
+                "speedup": round(walls["off"] / walls["on"], 4),
+                "append_region_bytes": FASTPATH_APPEND_REGION,
+                "decompressed_cache_blocks": FASTPATH_CACHE_BLOCKS,
+                **_scale_config(scale),
+            },
+            wall_s=walls["off"] - walls["on"],
+            git_rev=git_rev,
+        ),
+    ]
 
 
 def bench_runall(scale: Scale, jobs: int, git_rev: str) -> BenchRecord:
@@ -521,13 +631,25 @@ def main(argv=None) -> int:
                 f"({record.wall_s:.2f} s)"
             )
         records.append(record)
+    for record in bench_fastpath(scale, git_rev):
+        if record.bench == "zzone_fastpath_speedup":
+            print(f"zzone_fastpath_speedup: {record.config['speedup']:.2f}x")
+        elif record.ops_per_sec:
+            print(
+                f"{record.bench}: {record.ops_per_sec:,.0f} ops/s  "
+                f"({record.wall_s:.2f} s)"
+            )
+        records.append(record)
     if args.runall:
         record = bench_runall(scale, args.jobs, git_rev)
         print(f"{record.bench} (jobs={args.jobs}): {record.wall_s:.1f} s")
         records.append(record)
 
-    write_records(records, args.out)
-    print(f"wrote {len(records)} records to {args.out}")
+    merged = append_records(records, args.out)
+    print(
+        f"wrote {len(records)} records to {args.out} "
+        f"({len(merged)} total after merge)"
+    )
     return 0
 
 

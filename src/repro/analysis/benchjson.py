@@ -60,7 +60,12 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 def git_revision(repo_root: Optional[Path] = None) -> str:
-    """Short git revision of ``repo_root`` (or this repo); 'unknown' offline."""
+    """Short git revision of ``repo_root`` (or this repo); 'unknown' offline.
+
+    A working tree with uncommitted changes gets a ``-dirty`` suffix:
+    numbers measured on modified code must not masquerade as numbers for
+    the commit they happen to sit on.
+    """
     if repo_root is None:
         repo_root = Path(__file__).resolve().parents[3]
     try:
@@ -72,15 +77,56 @@ def git_revision(repo_root: Optional[Path] = None) -> str:
             timeout=10,
             check=True,
         )
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
     except (OSError, subprocess.SubprocessError):
         return "unknown"
-    return out.stdout.strip() or "unknown"
+    rev = out.stdout.strip()
+    if not rev:
+        return "unknown"
+    return rev + "-dirty" if status.stdout.strip() else rev
 
 
 def write_records(records: Sequence[BenchRecord], path: Path) -> None:
     """Write ``records`` as a JSON list (stable key order, trailing newline)."""
     payload = [asdict(record) for record in records]
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record_key(record: BenchRecord) -> tuple:
+    """Identity for dedupe: (bench, canonical config, rev measured at)."""
+    return (
+        record.bench,
+        json.dumps(record.config, sort_keys=True),
+        record.git_rev,
+    )
+
+
+def append_records(records: Sequence[BenchRecord], path: Path) -> List[BenchRecord]:
+    """Merge ``records`` into the list at ``path`` and rewrite it.
+
+    A new record *replaces* any existing row with the same
+    (bench, config, git_rev) identity — re-running a bench at the same
+    revision refreshes its numbers instead of silently accumulating
+    duplicate rows — while rows measured at other revisions are kept, so
+    the file stays an append-only history across commits.  Returns the
+    merged list as written.
+    """
+    path = Path(path)
+    existing = load_records(path) if path.exists() else []
+    fresh_keys = {_record_key(record) for record in records}
+    merged = [
+        record for record in existing if _record_key(record) not in fresh_keys
+    ]
+    merged.extend(records)
+    write_records(merged, path)
+    return merged
 
 
 def load_records(path: Path) -> List[BenchRecord]:

@@ -51,6 +51,14 @@ class ZExpanderConfig:
     #: Optional seeded fault plan; setting one wraps the codec in a
     #: fault injector and arms the corruption hooks (chaos testing).
     fault_plan: Optional[FaultPlan] = None
+    #: Z-zone fast path: per-block write-combining append region size.
+    #: 0 (the default, and the experiment configuration) disables staging
+    #: — every put reconstructs its block, as the paper describes.
+    append_region_bytes: int = 0
+    #: Z-zone fast path: decompressed-container LRU capacity in blocks.
+    #: 0 (the default) disables the cache.  Its memory is host-side
+    #: scratch, metered by a gauge but not charged to the cache budget.
+    decompressed_cache_blocks: int = 0
 
     def validate(self) -> None:
         if self.total_capacity <= 0:
@@ -87,3 +95,12 @@ class ZExpanderConfig:
             raise ConfigurationError(
                 f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
             )
+        if self.append_region_bytes < 0:
+            raise ConfigurationError("append_region_bytes must be >= 0")
+        if self.append_region_bytes > self.block_capacity:
+            raise ConfigurationError(
+                "append_region_bytes must not exceed block_capacity "
+                f"({self.append_region_bytes} > {self.block_capacity})"
+            )
+        if self.decompressed_cache_blocks < 0:
+            raise ConfigurationError("decompressed_cache_blocks must be >= 0")

@@ -119,6 +119,7 @@ class ShardedZExpander:
         """Fleet-wide Z-zone integrity counters (chaos/ops dashboards)."""
         names = (
             "checksum_failures",
+            "staged_checksum_failures",
             "codec_failures",
             "codec_fallbacks",
             "quarantined_blocks",
@@ -131,6 +132,24 @@ class ShardedZExpander:
             stats = shard.zzone.stats
             for name in names:
                 totals[name] += getattr(stats, name)
+        return totals
+
+    def aggregate_fastpath(self) -> Dict[str, int]:
+        """Fleet-wide Z-zone fast-path counters (staging + container cache)."""
+        names = (
+            "staged_puts",
+            "staging_flushes",
+            "container_cache_hits",
+            "container_cache_misses",
+        )
+        totals = {name: 0 for name in names}
+        for shard in self.shards:
+            stats = shard.zzone.stats
+            for name in names:
+                totals[name] += getattr(stats, name)
+        totals["container_cache_bytes"] = sum(
+            shard.zzone.container_cache_bytes() for shard in self.shards
+        )
         return totals
 
     def bind_metrics(self, registry, prefix: str = "cache") -> None:
@@ -173,6 +192,13 @@ class ShardedZExpander:
         )
         registry.view(
             f"{prefix}_shards", lambda: self.num_shards, "shard count"
+        )
+        registry.view(
+            f"{prefix}_zzone_container_cache_bytes",
+            lambda: sum(
+                shard.zzone.container_cache_bytes() for shard in self.shards
+            ),
+            "fleet decompressed-container cache scratch bytes",
         )
         registry.view(
             f"{prefix}_shard_imbalance",

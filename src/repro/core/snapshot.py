@@ -47,6 +47,11 @@ def _iter_cache_items(cache) -> Iterator[Tuple[bytes, bytes]]:
     the most recent inserts and re-form the N-zone's contents instead of
     being demoted by later traffic.  Sharded caches provide their own
     ``items()`` with the same cold-first ordering across shards.
+
+    Z-zone append regions need no special handling here: ``ZZone.items()``
+    yields each block's staged entries *after* its container entries, so
+    replaying the file in order lets the staged (newest) version of a key
+    overwrite any stale compressed shadow.
     """
     zzone = getattr(cache, "zzone", None)
     if zzone is not None:

@@ -70,6 +70,8 @@ class ZExpander:
             use_access_filter=config.use_access_filter,
             verify_checksums=config.verify_checksums,
             faults=self.fault_injector,
+            append_region_bytes=config.append_region_bytes,
+            decompressed_cache_blocks=config.decompressed_cache_blocks,
         )
         self.benchmark = LocalityBenchmark(config.benchmark_weights)
         self.allocator: Optional[AdaptiveAllocator] = None
@@ -228,6 +230,12 @@ class ZExpander:
             f"{prefix}_locality_benchmark_seconds",
             lambda: self.benchmark.value or 0.0,
             "marker-measured re-use-time benchmark (0 until first sample)",
+        )
+        registry.view(
+            f"{prefix}_zzone_container_cache_bytes",
+            lambda: self.zzone.container_cache_bytes(),
+            "decompressed-container cache scratch bytes (not charged "
+            "to the cache budget)",
         )
         if self.allocator is not None:
             registry.view(

@@ -128,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="concurrent loadgen connections (--server mode only)",
     )
+    chaos_parser.add_argument(
+        "--fastpath",
+        action="store_true",
+        help="arm the Z-zone fast path (1 KB append regions + a 128-block "
+        "decompressed-container cache) so the chaos contract is exercised "
+        "over staged bytes and cached containers",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the memcached-protocol server over a sharded zExpander"
@@ -265,6 +272,8 @@ def run_chaos_command(args) -> int:
         audit_interval=args.audit_interval,
         baseline=not args.no_baseline,
         size_multiplier=args.size_multiplier,
+        append_region_bytes=1024 if args.fastpath else 0,
+        decompressed_cache_blocks=128 if args.fastpath else 0,
     )
     print(report.render())
     return 0 if report.ok else 1

@@ -108,6 +108,7 @@ class ChaosReport:
 
 _INTEGRITY_COUNTERS = (
     "checksum_failures",
+    "staged_checksum_failures",
     "codec_failures",
     "codec_fallbacks",
     "quarantined_blocks",
@@ -127,8 +128,16 @@ def run_chaos(
     audit_interval: int = 512,
     baseline: bool = True,
     size_multiplier: float = 1.0,
+    append_region_bytes: int = 0,
+    decompressed_cache_blocks: int = 0,
 ) -> ChaosReport:
-    """Replay ``workload`` under ``plan`` and audit the degradation."""
+    """Replay ``workload`` under ``plan`` and audit the degradation.
+
+    ``append_region_bytes`` / ``decompressed_cache_blocks`` arm the Z-zone
+    fast path for the run (both twins, so the degradation comparison stays
+    apples-to-apples) — the chaos contract must hold with staged bytes and
+    cached containers in play, not just on the slow path.
+    """
     if plan is None:
         plan = FaultPlan.default(seed)
     scale = Scale(num_keys=num_keys, num_requests=num_requests, seed=seed)
@@ -145,7 +154,12 @@ def run_chaos(
 
     if baseline:
         clean_cache = ZExpander(
-            ZExpanderConfig(total_capacity=capacity, seed=seed),
+            ZExpanderConfig(
+                total_capacity=capacity,
+                seed=seed,
+                append_region_bytes=append_region_bytes,
+                decompressed_cache_blocks=decompressed_cache_blocks,
+            ),
             clock=VirtualClock(),
         )
         report.baseline = replay_trace(
@@ -154,7 +168,11 @@ def run_chaos(
         report.baseline_evicted_items = clean_cache.zzone.stats.evicted_items
 
     config = ZExpanderConfig(
-        total_capacity=capacity, seed=seed, fault_plan=plan
+        total_capacity=capacity,
+        seed=seed,
+        fault_plan=plan,
+        append_region_bytes=append_region_bytes,
+        decompressed_cache_blocks=decompressed_cache_blocks,
     )
     cache = ZExpander(config, clock=VirtualClock())
     auditor = InvariantAuditor(cache, interval=audit_interval)
@@ -189,7 +207,8 @@ def run_chaos(
     # -- contract checks -------------------------------------------------------
 
     flips = injector.injected.get("block.bitflip", 0)
-    if flips > 0 and zstats.checksum_failures == 0:
+    detected = zstats.checksum_failures + zstats.staged_checksum_failures
+    if flips > 0 and detected == 0:
         report.violations.append(
             f"{flips} bit-flips injected but no checksum failures detected "
             "(silent corruption)"

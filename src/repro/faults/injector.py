@@ -94,28 +94,43 @@ class FaultInjector:
                     break
 
     def maybe_corrupt(self, block) -> None:
-        """Maybe flip one bit in ``block``'s compressed payload.
+        """Maybe flip one bit in ``block``'s stored bytes.
 
+        The flip lands uniformly across the compressed payload *and* the
+        block's write-combining append region (when one is in use), so
+        staged uncompressed bytes face the same adversary as compressed
+        ones; with nothing staged the draw is identical to the
+        payload-only draw, keeping pre-existing chaos runs reproducible.
         The flip preserves ``stored_size`` so byte accounting stays
         consistent — corruption damages *data*, not *bookkeeping* — which
-        is exactly what the checksum must catch.  Empty blocks are
+        is exactly what the checksums must catch.  Empty blocks are
         skipped: there is no stored data to damage.
         """
         specs = self._by_site["block.bitflip"]
         if not specs:
             return
         payload = block.compressed.payload
-        if not payload or getattr(block, "item_count", 1) == 0:
+        staged = getattr(block, "staged_buffer", b"")
+        if not payload and not staged:
+            return
+        if getattr(block, "item_count", 1) == 0 and not staged:
             return
         for spec in specs:
             if self._fire(spec):
-                bit = self._rngs["block.bitflip"].randrange(len(payload) * 8)
-                corrupted = bytearray(payload)
-                corrupted[bit >> 3] ^= 1 << (bit & 7)
-                block.compressed = Compressed(
-                    payload=bytes(corrupted),
-                    stored_size=block.compressed.stored_size,
+                payload_bits = len(payload) * 8
+                bit = self._rngs["block.bitflip"].randrange(
+                    payload_bits + len(staged) * 8
                 )
+                if bit < payload_bits:
+                    corrupted = bytearray(payload)
+                    corrupted[bit >> 3] ^= 1 << (bit & 7)
+                    block.compressed = Compressed(
+                        payload=bytes(corrupted),
+                        stored_size=block.compressed.stored_size,
+                    )
+                else:
+                    bit -= payload_bits
+                    staged[bit >> 3] ^= 1 << (bit & 7)
                 return
 
     def maybe_fail_codec(self, site: str) -> Optional[str]:

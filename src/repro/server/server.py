@@ -458,6 +458,7 @@ class CacheServer:
                 zstats = zzone.stats
                 for name in (
                     "checksum_failures",
+                    "staged_checksum_failures",
                     "codec_failures",
                     "codec_fallbacks",
                     "quarantined_blocks",
@@ -466,6 +467,24 @@ class CacheServer:
                     "emergency_sweeps",
                 ):
                     out["integrity_" + name] = getattr(zstats, name)
+        fastpath = getattr(self.cache, "aggregate_fastpath", None)
+        if fastpath is not None:
+            for name, value in fastpath().items():
+                out["fastpath_" + name] = value
+        else:
+            zzone = getattr(self.cache, "zzone", None)
+            if zzone is not None:
+                zstats = zzone.stats
+                for name in (
+                    "staged_puts",
+                    "staging_flushes",
+                    "container_cache_hits",
+                    "container_cache_misses",
+                ):
+                    out["fastpath_" + name] = getattr(zstats, name)
+                out["fastpath_container_cache_bytes"] = (
+                    zzone.container_cache_bytes()
+                )
         # Owned registry instruments (latency/payload histograms flattened
         # to _count/_sum/_p50/_p99, auditor counters); mounted views are
         # skipped — their state is already reported above.

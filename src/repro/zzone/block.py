@@ -19,12 +19,18 @@ Every block carries:
 
 Blocks are immutable value containers: inserting or removing items builds
 a replacement block (the paper's "writing a new item into a block always
-leads to its reconstruction").
+leads to its reconstruction") — with one amortisation the paper itself
+prescribes: each block may carry a small *write-combining append region*
+(§3.2's uncompressed space), an uncompressed staging buffer that absorbs
+puts in O(item) and is merged into the compressed container only when it
+fills.  The staged bytes are CRC-guarded like the container and charged
+to block memory, so the Figure 7 accounting holds.
 """
 
 from __future__ import annotations
 
 import bisect
+import itertools
 import struct
 import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -103,6 +109,39 @@ def decode_items(container: bytes) -> List[KVItem]:
     return items
 
 
+def encode_item(key: bytes, value: bytes, hashed: int) -> bytes:
+    """Serialise one item in the container wire format."""
+    return _pack_header(hashed, len(key), len(value)) + key + value
+
+
+def entry_spans(container: bytes) -> List[Tuple[int, int, int]]:
+    """(hashed_key, start, end) byte spans of a container's entries.
+
+    The batched sweep/rebuild path works on spans: it slices surviving
+    entries straight out of the old container instead of materialising a
+    :class:`KVItem` per entry and re-packing each header.  The encoding
+    is canonical, so a container assembled from sorted spans is
+    byte-identical to one re-encoded from decoded items.
+    """
+    spans: List[Tuple[int, int, int]] = []
+    append = spans.append
+    pos = 0
+    end = len(container)
+    while pos < end:
+        hashed, klen, vlen = _unpack_header(container, pos)
+        nxt = pos + _HEADER_SIZE + klen + vlen
+        append((hashed, pos, nxt))
+        pos = nxt
+    return spans
+
+
+#: Monotonic block identity for the zone's decompressed-container cache.
+#: Blocks are immutable, so a generation uniquely names one container's
+#: bytes for the life of the process; any rebuild produces a new block
+#: with a new generation, which is what invalidates cache entries.
+_BLOCK_GENERATION = itertools.count(1)
+
+
 def _decode_one(container: bytes, pos: int) -> Tuple[KVItem, int]:
     hashed, klen, vlen = _unpack_header(container, pos)
     key_start = pos + _HEADER_SIZE
@@ -131,6 +170,11 @@ class Block:
         "_base_bytes",
         "next_block",
         "prev_block",
+        "staged_buffer",
+        "staged_index",
+        "staged_checksum",
+        "generation",
+        "built_container",
     )
 
     def __init__(
@@ -170,6 +214,24 @@ class Block:
         # Circular sweep-list links, managed by the zone.
         self.next_block: Optional[Block] = None
         self.prev_block: Optional[Block] = None
+        #: Write-combining append region (§3.2's uncompressed space).  Raw
+        #: container-format entries land here in O(item); the compressed
+        #: container is only rebuilt when the region fills.  The buffer is
+        #: append-only — a re-put appends a new entry and the index points
+        #: at the latest offset (last write wins) — and it is CRC-guarded
+        #: incrementally, entry by entry, so staged bytes get the same
+        #: single-bit-flip detection as the compressed payload.
+        self.staged_buffer = bytearray()
+        self.staged_index: Dict[bytes, int] = {}
+        self.staged_checksum = 0
+        #: Process-unique identity for the decompressed-container cache.
+        self.generation = next(_BLOCK_GENERATION)
+        #: Uncompressed container bytes kept by ``build`` /
+        #: ``from_sorted_entries`` when asked (``keep_container=True``) so
+        #: the zone can seed its decompressed-container cache without
+        #: paying a decompression; the zone consumes and clears it
+        #: immediately — it never outlives the construction call.
+        self.built_container: Optional[bytes] = None
 
     # -- construction -------------------------------------------------------
 
@@ -181,6 +243,7 @@ class Block:
         depth: int = 0,
         prefix: int = 0,
         large_refs: Optional[Dict[bytes, "LargeItem"]] = None,
+        keep_container: bool = False,
     ) -> "Block":
         """Build a block from ``items`` (any order; sorted here).
 
@@ -228,7 +291,141 @@ class Block:
         if large_refs:
             for large in large_refs.values():
                 content.add(large.hashed_key)
+        if keep_container:
+            block.built_container = container
         return block
+
+    @classmethod
+    def from_sorted_entries(
+        cls,
+        container: bytes,
+        spans: List[Tuple[int, int, int]],
+        compressor: Compressor,
+        depth: int = 0,
+        prefix: int = 0,
+        large_refs: Optional[Dict[bytes, "LargeItem"]] = None,
+        keep_container: bool = False,
+    ) -> "Block":
+        """Build a block from entry spans of an existing ``container``.
+
+        The batched sweep/rebuild fast path: survivors are sliced straight
+        out of the source container (their headers are already in wire
+        format) instead of being decoded into :class:`KVItem` objects and
+        re-encoded one by one.  ``spans`` must preserve the container's
+        canonical (hashed key, key) order, which holds whenever they come
+        from :func:`entry_spans` of a well-formed container with drops but
+        no reordering.  The result is byte-identical to
+        :meth:`build` over the decoded survivors.
+        """
+        chunks: List[bytes] = []
+        append_chunk = chunks.append
+        content = Bloom128()
+        content_add = content.add
+        index_hashes: List[int] = []
+        index_offsets: List[int] = []
+        step = max(1, len(spans) // _INDEX_FANOUT)
+        offset = 0
+        for position, (hashed, start, end) in enumerate(spans):
+            if position % step == 0 and len(index_hashes) < _INDEX_FANOUT:
+                index_hashes.append(hashed)
+                index_offsets.append(offset)
+            append_chunk(container[start:end])
+            content_add(hashed)
+            offset += end - start
+        new_container = b"".join(chunks)
+        compressed = compressor.compress(new_container)
+        block = cls(
+            depth=depth,
+            prefix=prefix,
+            compressed=compressed,
+            uncompressed_size=len(new_container),
+            item_count=len(spans),
+            content_filter=content,
+            index_hashes=index_hashes,
+            index_offsets=index_offsets,
+            large_refs=large_refs,
+            codec=compressor,
+        )
+        if large_refs:
+            for large in large_refs.values():
+                content.add(large.hashed_key)
+        if keep_container:
+            block.built_container = new_container
+        return block
+
+    # -- write-combining append region (§3.2) ---------------------------------
+
+    def stage_put(self, key: bytes, value: bytes, hashed_key: int) -> bool:
+        """Append an item to the staging region; True if the key is new.
+
+        O(item) instead of O(block): no decode, no re-encode, no
+        compression.  The entry is written in the container wire format so
+        a later flush can merge staged bytes without re-packing, and the
+        running CRC is extended over exactly the appended bytes
+        (``crc32(a + b) == crc32(b, crc32(a))``).
+        """
+        entry = _pack_header(hashed_key, len(key), len(value)) + key + value
+        is_new = key not in self.staged_index
+        self.staged_index[key] = len(self.staged_buffer)
+        self.staged_buffer += entry
+        self.staged_checksum = _crc32(entry, self.staged_checksum)
+        self.content_filter.add(hashed_key)
+        return is_new
+
+    def staged_lookup(self, key: bytes) -> Optional[bytes]:
+        """Value of a staged ``key`` (latest write), or None."""
+        offset = self.staged_index.get(key)
+        if offset is None:
+            return None
+        _, klen, vlen = _unpack_header(self.staged_buffer, offset)
+        value_start = offset + _HEADER_SIZE + klen
+        return bytes(self.staged_buffer[value_start : value_start + vlen])
+
+    def staged_items(self) -> List[KVItem]:
+        """Live staged items (shadowed re-puts deduplicated, latest wins)."""
+        items: List[KVItem] = []
+        buffer = self.staged_buffer
+        for key, offset in self.staged_index.items():
+            hashed, klen, vlen = _unpack_header(buffer, offset)
+            value_start = offset + _HEADER_SIZE + klen
+            items.append(
+                KVItem(
+                    key=key,
+                    value=bytes(buffer[value_start : value_start + vlen]),
+                    hashed_key=hashed,
+                )
+            )
+        return items
+
+    def staged_checksum_ok(self) -> bool:
+        """Whether the staged bytes still match their running CRC32."""
+        return _crc32(bytes(self.staged_buffer)) == self.staged_checksum
+
+    def adopt_staging(self, donor: "Block") -> None:
+        """Carry ``donor``'s append region over to this rebuilt block.
+
+        Sweeping or deleting from a block's compressed container must not
+        cost its recently written staged entries their amortisation: the
+        replacement block takes the buffer, index, and running CRC as-is,
+        and re-registers the staged keys in its freshly built Content
+        Filter so membership answers stay complete.
+        """
+        self.staged_buffer = donor.staged_buffer
+        self.staged_index = donor.staged_index
+        self.staged_checksum = donor.staged_checksum
+        for key, offset in self.staged_index.items():
+            hashed, _klen, _vlen = _unpack_header(self.staged_buffer, offset)
+            self.content_filter.add(hashed)
+
+    @property
+    def staged_count(self) -> int:
+        """Distinct live keys in the staging region."""
+        return len(self.staged_index)
+
+    @property
+    def staged_bytes(self) -> int:
+        """Raw bytes held by the staging region (charged to the block)."""
+        return len(self.staged_buffer)
 
     # -- integrity -----------------------------------------------------------
 
@@ -323,12 +520,17 @@ class Block:
 
     @property
     def memory_bytes(self) -> int:
-        """Container + fixed metadata + large-item references."""
+        """Container + fixed metadata + staged bytes + large-item refs.
+
+        Staged bytes are charged in full so the append region competes for
+        the same budget as compressed data (Figure 7's accounting): staging
+        trades compression ratio for write cost only within the block's
+        configured envelope.
+        """
+        total = self._base_bytes + len(self.staged_buffer)
         if not self.large_refs:
-            return self._base_bytes
-        return self._base_bytes + sum(
-            ref.memory_bytes for ref in self.large_refs.values()
-        )
+            return total
+        return total + sum(ref.memory_bytes for ref in self.large_refs.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -10,6 +10,7 @@ that the performance model and the adaptive controller consume.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -22,7 +23,7 @@ from repro.compression.base import Compressor
 from repro.compression.lz4 import LZ4Compressor
 from repro.compression.null import NullCompressor
 from repro.compression.zlibc import ZlibCompressor
-from repro.zzone.block import Block, LargeItem, decode_items
+from repro.zzone.block import Block, LargeItem, decode_items, entry_spans
 from repro.zzone.trie import BlockTrie
 
 DEFAULT_BLOCK_CAPACITY = 2048
@@ -74,6 +75,16 @@ class ZZoneStats:
     quarantined_bytes: int = 0
     #: Forced full-pressure sweeps triggered by severe capacity overage.
     emergency_sweeps: int = 0
+    #: Write-combining append region: puts absorbed by a staging buffer
+    #: (no compression), and region-full merges into the container.
+    staged_puts: int = 0
+    staging_flushes: int = 0
+    #: Decompressed-container cache: GETs answered from a cached container
+    #: (no decompression) vs. GETs that had to decompress and fill it.
+    container_cache_hits: int = 0
+    container_cache_misses: int = 0
+    #: Staged bytes failed their running CRC; the block was quarantined.
+    staged_checksum_failures: int = 0
 
     @property
     def expensive_ops(self) -> int:
@@ -83,7 +94,11 @@ class ZZoneStats:
     @property
     def integrity_events(self) -> int:
         """Total detected integrity failures (checksum + codec)."""
-        return self.checksum_failures + self.codec_failures
+        return (
+            self.checksum_failures
+            + self.codec_failures
+            + self.staged_checksum_failures
+        )
 
 
 class ZZone:
@@ -100,11 +115,22 @@ class ZZone:
         use_access_filter: bool = True,
         verify_checksums: bool = True,
         faults=None,
+        append_region_bytes: int = 0,
+        decompressed_cache_blocks: int = 0,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if block_capacity < 64:
             raise ValueError(f"block_capacity must be >= 64, got {block_capacity}")
+        if append_region_bytes < 0:
+            raise ValueError(
+                f"append_region_bytes must be >= 0, got {append_region_bytes}"
+            )
+        if decompressed_cache_blocks < 0:
+            raise ValueError(
+                "decompressed_cache_blocks must be >= 0, "
+                f"got {decompressed_cache_blocks}"
+            )
         self.capacity = capacity
         self.block_capacity = block_capacity
         #: Ablation switches: without the Content Filter every absent-key
@@ -137,6 +163,17 @@ class ZZone:
         #: key -> (hashed_key, earliest execution time); §3.3.2's postponed
         #: removals of stale versions after a SET hit the N-zone.
         self._pending_removals: Dict[bytes, Tuple[int, float]] = {}
+        #: Fast-path knobs (both default off, keeping the experiment
+        #: configuration's behaviour bit-for-bit unchanged).
+        self.append_region_bytes = append_region_bytes
+        self.decompressed_cache_blocks = decompressed_cache_blocks
+        #: LRU of decompressed containers keyed by block generation.  A
+        #: host-side scratch buffer: its bytes are *not* charged to the
+        #: zone's capacity (metered separately via
+        #: :meth:`container_cache_bytes`), and generations are
+        #: process-unique, so a rebuilt block can never alias a stale
+        #: entry.
+        self._container_cache: "OrderedDict[int, bytes]" = OrderedDict()
         root = self._build_block([])
         self._trie.insert_root(root)
         self._link_initial(root)
@@ -243,12 +280,14 @@ class ZZone:
                     depth=depth,
                     prefix=prefix,
                     large_refs=large_refs,
+                    keep_container=self.decompressed_cache_blocks > 0,
                 )
             except CodecError:
                 self._note_codec_failure()
                 continue
             self._codec_strikes = 0
             self.stats.compressions += 1
+            self._cache_store(block)
             return block
         raise CodecError("compression failed with every codec in the chain")
 
@@ -294,6 +333,62 @@ class ZZone:
             return None
         return container
 
+    def _lookup_container(self, leaf: Block) -> Optional[bytes]:
+        """Container of ``leaf`` via the decompressed-container cache.
+
+        Every read path — GET, flush merges, sweep, delete — goes through
+        here.  A hit still verifies the payload CRC before trusting the
+        cached bytes: CRC32 over the compressed payload is an order of
+        magnitude cheaper than decompression, so corruption is detected
+        with its usual latency (a flipped bit quarantines the block even
+        when the cache is warm) while the expensive work is skipped.
+        With the cache disabled this is exactly :meth:`_container_of`.
+        """
+        if self.decompressed_cache_blocks == 0:
+            return self._container_of(leaf)
+        cached = self._container_cache.get(leaf.generation)
+        if cached is not None:
+            if self.verify_checksums and not leaf.checksum_ok():
+                self.stats.checksum_failures += 1
+                self._quarantine(leaf)
+                return None
+            self.stats.container_cache_hits += 1
+            self._container_cache.move_to_end(leaf.generation)
+            return cached
+        self.stats.container_cache_misses += 1
+        container = self._container_of(leaf)
+        if container is not None:
+            self._container_cache[leaf.generation] = container
+            while len(self._container_cache) > self.decompressed_cache_blocks:
+                self._container_cache.popitem(last=False)
+        return container
+
+    def _invalidate_cached(self, block: Block) -> None:
+        """Drop a replaced block's cached container (if any)."""
+        if self._container_cache:
+            self._container_cache.pop(block.generation, None)
+
+    def _cache_store(self, block: Block) -> None:
+        """Write-through: seed the cache with a freshly built container.
+
+        Construction had the uncompressed bytes in hand
+        (``built_container``), so caching them here makes the first read
+        after a rebuild a hit instead of a decompression.  The bytes are
+        consumed — a block never retains its own uncompressed copy.
+        """
+        container = block.built_container
+        if container is None:
+            return
+        block.built_container = None
+        self._container_cache[block.generation] = container
+        while len(self._container_cache) > self.decompressed_cache_blocks:
+            self._container_cache.popitem(last=False)
+
+    def container_cache_bytes(self) -> int:
+        """Scratch bytes currently held by the decompressed-container
+        cache (not charged to the zone's capacity; exposed as a gauge)."""
+        return sum(len(c) for c in self._container_cache.values())
+
     def _large_bytes(
         self, leaf: Block, key: bytes, large: LargeItem, charge: bool = True
     ) -> Optional[bytes]:
@@ -332,7 +427,7 @@ class ZZone:
         next; the replacement keeps the trie shape and the sweep ring
         intact so serving continues uninterrupted.
         """
-        lost = block.item_count + len(block.large_refs)
+        lost = block.item_count + block.staged_count + len(block.large_refs)
         self.stats.quarantined_blocks += 1
         self.stats.quarantined_items += lost
         self.stats.quarantined_bytes += block.memory_bytes
@@ -341,6 +436,7 @@ class ZZone:
         self._trie.replace_leaf(block, replacement)
         self._splice_replace(block, [replacement])
         self._recharge(block.memory_bytes, replacement.memory_bytes)
+        self._invalidate_cached(block)
         return replacement
 
     # -- core operations --------------------------------------------------------
@@ -365,6 +461,21 @@ class ZZone:
             self.stats.filter_skips += 1
             self.stats.misses += 1
             return None
+        if leaf.staged_index:
+            # The append region is checked before the container and before
+            # large refs: a staged entry is always the newest write of its
+            # key.  Its running CRC is verified first so a bit-flip in
+            # staged bytes can never be served.
+            if self.verify_checksums and not leaf.staged_checksum_ok():
+                self.stats.staged_checksum_failures += 1
+                self._quarantine(leaf)
+                self.stats.misses += 1
+                return None
+            value = leaf.staged_lookup(key)
+            if value is not None:
+                reuse = leaf.record_get(hashed, self.clock.now())
+                self.stats.hits += 1
+                return value, reuse
         large = leaf.large_refs.get(key)
         if large is not None:
             value = self._large_bytes(leaf, key, large)
@@ -376,7 +487,7 @@ class ZZone:
             reuse = leaf.record_get(hashed, self.clock.now())
             self.stats.hits += 1
             return value, reuse
-        container = self._container_of(leaf)
+        container = self._lookup_container(leaf)
         if container is None:
             # Damaged block: quarantined, its items are misses from now on.
             self.stats.misses += 1
@@ -455,7 +566,10 @@ class ZZone:
     # -- insertion internals ------------------------------------------------------
 
     def _put_compact(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
-        container = self._container_of(leaf)
+        if self.append_region_bytes > 0:
+            self._put_staged(leaf, key, value, hashed)
+            return
+        container = self._lookup_container(leaf)
         if container is None:
             # The block was damaged and quarantined; insert into the
             # rebuilt (empty, checksum-valid) slot instead.
@@ -484,7 +598,102 @@ class ZZone:
         if stale_large is not None:
             self._item_count -= 1  # the compact copy replaces the large one
 
+    def _put_staged(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
+        """Write-combining put: stage in O(item); merge when the region fills.
+
+        While a key sits staged, a stale copy may remain in the compressed
+        container (or as a large ref) — reads are shadowed by the staging
+        index and the flush scrubs the stale copy, so both copies are
+        charged for memory and counted until the merge reconciles them.
+        """
+        entry_size = 14 + len(key) + len(value)
+        if leaf.staged_bytes + entry_size <= self.append_region_bytes:
+            old_bytes = leaf.memory_bytes
+            is_new = leaf.stage_put(key, value, hashed)
+            self.stats.staged_puts += 1
+            self._recharge(old_bytes, leaf.memory_bytes)
+            if is_new:
+                self._item_count += 1
+            return
+        # Region full (or the entry alone exceeds it): one decode + one
+        # compression merges the container, every staged entry, and the
+        # incoming item — the amortisation the region exists to buy.
+        if self.verify_checksums and not leaf.staged_checksum_ok():
+            self.stats.staged_checksum_failures += 1
+            replacement = self._quarantine(leaf)
+            self._put_staged(replacement, key, value, hashed)
+            return
+        container = self._lookup_container(leaf)
+        if container is None:
+            # Damaged and quarantined; stage into the rebuilt empty slot.
+            self._put_staged(self._trie.find_leaf(hashed), key, value, hashed)
+            return
+        if leaf.staged_index:
+            self.stats.staging_flushes += 1
+        newest = {it.key: it for it in leaf.staged_items()}
+        newest[key] = KVItem(key=key, value=value, hashed_key=hashed)
+        items = [it for it in decode_items(container) if it.key not in newest]
+        items.extend(newest.values())
+        large_refs = {
+            k: v for k, v in leaf.large_refs.items() if k not in newest
+        }
+        old_total = leaf.item_count + leaf.staged_count + len(leaf.large_refs)
+        serialized = sum(14 + len(it.key) + len(it.value) for it in items)
+        if serialized <= self.block_capacity:
+            self._rebuild(leaf, items, large_refs)
+        else:
+            self._split(leaf, items, large_refs)
+        self._item_count += len(items) + len(large_refs) - old_total
+
+    def _flush_staging(self, leaf: Block) -> Optional[Block]:
+        """Merge ``leaf``'s staged entries into its compressed container.
+
+        Returns the replacement leaf, or None when the merge could not
+        preserve the data (staged CRC failure or damaged container — the
+        block is quarantined) or the merge split the block into several
+        leaves (callers re-find by hash when they need a specific one).
+        """
+        if not leaf.staged_index:
+            if leaf.staged_buffer:
+                # Only dead bytes remain (every staged key was deleted):
+                # no merge needed, just reclaim the buffer in place.
+                old_bytes = leaf.memory_bytes
+                leaf.staged_buffer = bytearray()
+                leaf.staged_checksum = 0
+                self._recharge(old_bytes, leaf.memory_bytes)
+            return leaf
+        if self.verify_checksums and not leaf.staged_checksum_ok():
+            self.stats.staged_checksum_failures += 1
+            self._quarantine(leaf)
+            return None
+        container = self._lookup_container(leaf)
+        if container is None:
+            return None
+        self.stats.staging_flushes += 1
+        newest = {it.key: it for it in leaf.staged_items()}
+        items = [it for it in decode_items(container) if it.key not in newest]
+        items.extend(newest.values())
+        large_refs = {
+            k: v for k, v in leaf.large_refs.items() if k not in newest
+        }
+        old_total = leaf.item_count + leaf.staged_count + len(leaf.large_refs)
+        serialized = sum(14 + len(it.key) + len(it.value) for it in items)
+        if serialized <= self.block_capacity:
+            replacement = self._rebuild(leaf, items, large_refs)
+        else:
+            self._split(leaf, items, large_refs)
+            replacement = None
+        self._item_count += len(items) + len(large_refs) - old_total
+        return replacement
+
     def _put_large(self, leaf: Block, key: bytes, value: bytes, hashed: int) -> None:
+        if key in leaf.staged_index:
+            # Large items bypass the append region; when a staged copy of
+            # this very key exists, flush first so it cannot shadow (or be
+            # shadowed by) the large one.  Other staged keys ride through
+            # the rebuild below untouched.
+            self._flush_staging(leaf)
+            leaf = self._trie.find_leaf(hashed)
         compressed, codec = self._compress_value(value)
         large = LargeItem(
             key=key,
@@ -496,7 +705,7 @@ class ZZone:
         if leaf.maybe_contains(hashed) and key not in leaf.large_refs:
             # The key may exist compacted in the container: rebuild without
             # it so the item is not doubly stored.
-            container = self._container_of(leaf)
+            container = self._lookup_container(leaf)
             if container is None:
                 # Quarantined: fall through to the rebuilt empty slot.
                 leaf = self._trie.find_leaf(hashed)
@@ -507,7 +716,7 @@ class ZZone:
                 )
                 large_refs = dict(leaf.large_refs)
                 large_refs[key] = large
-                self._rebuild(leaf, items, large_refs)
+                self._rebuild(leaf, items, large_refs, adopt_staging=True)
                 if not was_present:
                     self._item_count += 1
                 return
@@ -523,13 +732,59 @@ class ZZone:
         old: Block,
         items: List[KVItem],
         large_refs: Dict[bytes, LargeItem],
-    ) -> None:
+        adopt_staging: bool = False,
+    ) -> Block:
         new = self._build_block(
             items, depth=old.depth, prefix=old.prefix, large_refs=large_refs
         )
+        if adopt_staging and old.staged_index:
+            new.adopt_staging(old)
         self._trie.replace_leaf(old, new)
         self._splice_replace(old, [new])
         self._recharge(old.memory_bytes, new.memory_bytes)
+        self._invalidate_cached(old)
+        return new
+
+    def _rebuild_from_spans(
+        self,
+        old: Block,
+        container: bytes,
+        spans: List[Tuple[int, int, int]],
+        large_refs: Dict[bytes, LargeItem],
+        adopt_staging: bool = False,
+    ) -> Block:
+        """Rebuild ``old`` from entry spans of its decoded ``container``.
+
+        The sweep's batched path: survivors are sliced, not decoded and
+        re-encoded, producing a byte-identical container in one pass.
+        Codec faults degrade through the same fallback chain as
+        :meth:`_build_block`.
+        """
+        for _attempt in range(4 * (len(self._fallbacks) + 1)):
+            try:
+                new = Block.from_sorted_entries(
+                    container,
+                    spans,
+                    self.compressor,
+                    depth=old.depth,
+                    prefix=old.prefix,
+                    large_refs=large_refs,
+                    keep_container=self.decompressed_cache_blocks > 0,
+                )
+            except CodecError:
+                self._note_codec_failure()
+                continue
+            self._codec_strikes = 0
+            self.stats.compressions += 1
+            self._cache_store(new)
+            if adopt_staging and old.staged_index:
+                new.adopt_staging(old)
+            self._trie.replace_leaf(old, new)
+            self._splice_replace(old, [new])
+            self._recharge(old.memory_bytes, new.memory_bytes)
+            self._invalidate_cached(old)
+            return new
+        raise CodecError("compression failed with every codec in the chain")
 
     def _split(
         self,
@@ -576,6 +831,7 @@ class ZZone:
         self.stats.splits += 1
         self._trie.split_leaf(old, left, right)
         self._splice_replace(old, [left, right])
+        self._invalidate_cached(old)
         self._recharge(
             old.memory_bytes + trie_before,
             left.memory_bytes + right.memory_bytes + self._trie.memory_bytes,
@@ -590,25 +846,38 @@ class ZZone:
     # -- removal internals ---------------------------------------------------------
 
     def _remove_from_block(self, leaf: Block, key: bytes, hashed: int) -> bool:
+        staged_removed = False
+        if key in leaf.staged_index:
+            # Unindex the staged copy without a flush: its bytes stay in
+            # the buffer as dead space (the next merge drops them, and the
+            # running CRC still covers the whole buffer), so the append
+            # region keeps its O(item) put amortisation.  A stale shadow
+            # of the key in the compressed container or the large refs is
+            # scrubbed below.
+            del leaf.staged_index[key]
+            self._item_count -= 1
+            staged_removed = True
         if key in leaf.large_refs:
             large_refs = dict(leaf.large_refs)
             del large_refs[key]
-            container = self._container_of(leaf)
+            container = self._lookup_container(leaf)
             if container is None:
-                return False  # quarantined whole; the key is gone either way
+                # Quarantined whole; the key is gone either way.
+                return staged_removed
             items = decode_items(container)
-            self._rebuild(leaf, items, large_refs)
+            self._rebuild(leaf, items, large_refs, adopt_staging=True)
             self._item_count -= 1
             return True
-        container = self._container_of(leaf)
+        container = self._lookup_container(leaf)
         if container is None:
-            return False
+            return staged_removed
         items = decode_items(container)
         remaining = [it for it in items if it.key != key]
         if len(remaining) == len(items):
-            self.stats.false_positives += 1
-            return False
-        self._rebuild(leaf, remaining, dict(leaf.large_refs))
+            if not staged_removed:
+                self.stats.false_positives += 1
+            return staged_removed
+        self._rebuild(leaf, remaining, dict(leaf.large_refs), adopt_staging=True)
         self._item_count -= 1
         return True
 
@@ -665,6 +934,7 @@ class ZZone:
             block.depth > 0
             and block.item_count == 0
             and not block.large_refs
+            and not block.staged_index
         ):
             sibling_prefix = block.prefix ^ 1
             sibling = self._trie.get_leaf(block.depth, sibling_prefix)
@@ -672,6 +942,7 @@ class ZZone:
                 sibling is None
                 or sibling.item_count != 0
                 or sibling.large_refs
+                or sibling.staged_index
             ):
                 return merged
             left, right = (
@@ -688,6 +959,8 @@ class ZZone:
                 left.memory_bytes + right.memory_bytes + trie_before,
                 parent.memory_bytes + self._trie.memory_bytes,
             )
+            self._invalidate_cached(left)
+            self._invalidate_cached(right)
             merged = True
             block = parent
         return merged
@@ -702,11 +975,23 @@ class ZZone:
         all-hot zone).
         """
         freed = False
+        if block.staged_index and force:
+            # Emergency pressure merges the append region outright:
+            # compressing the raw staged bytes frees their overhead and
+            # leaves a plain compressed block for the forced re-visit.
+            self._flush_staging(block)
+            return True
+        # A non-forced sweep leaves the append region alone: staged
+        # entries are by definition the block's most recently written
+        # items, exactly what CLOCK's reference pass protects.  Eviction
+        # targets the compressed container, and every rebuild below
+        # carries the staging area over (``adopt_staging=True``) so the
+        # region keeps its O(item) put amortisation under cache pressure.
         # Verify the container before touching any accounting: a damaged
         # block is quarantined whole, which frees its bytes — progress.
         container = None
         if block.item_count > 0:
-            container = self._container_of(block)
+            container = self._lookup_container(block)
             if container is None:
                 return True
         # Large refs behave like one-item blocks with a reference bit.
@@ -721,33 +1006,56 @@ class ZZone:
                 self._item_count -= 1
                 freed = True
         if block.item_count > 0:
-            items = decode_items(container)
+            # Batched path: one header scan yields every entry's span, the
+            # survivors are sliced straight into the replacement container
+            # — no per-item decode/re-encode.  Candidate selection and the
+            # RNG draw are identical to the per-item path, so sweep
+            # behaviour (and the committed experiment outputs) do not
+            # depend on which path built the block.
+            spans = entry_spans(container)
             if force or not self.use_access_filter:
-                candidates = list(range(len(items)))
+                candidates = list(range(len(spans)))
             else:
+                access_filter = block.access_filter
                 candidates = [
                     position
-                    for position, item in enumerate(items)
-                    if item.hashed_key not in block.access_filter
+                    for position, (hashed, _start, _end) in enumerate(spans)
+                    if hashed not in access_filter
                 ]
             if candidates:
-                victim_count = max(1, math.ceil(len(candidates) / 2))
-                victims = set(self._rng.sample(candidates, victim_count))
-                survivors = [
-                    item
-                    for position, item in enumerate(items)
+                if self.append_region_bytes > 0:
+                    # Fast-path sweeps cut deeper: every filter-cold item
+                    # goes, so one rebuild (one compression) frees twice
+                    # the bytes and eviction episodes triggered by staged
+                    # puts visit half as many blocks.  The random-half
+                    # draw below stays the exclusive default behaviour —
+                    # committed experiment outputs depend on its RNG
+                    # stream.
+                    victims = set(candidates)
+                else:
+                    victim_count = max(1, math.ceil(len(candidates) / 2))
+                    victims = set(self._rng.sample(candidates, victim_count))
+                survivor_spans = [
+                    span
+                    for position, span in enumerate(spans)
                     if position not in victims
                 ]
                 self.stats.evicted_items += len(victims)
                 self.stats.evicted_bytes += sum(
-                    items[position].size for position in victims
+                    spans[position][2] - spans[position][1] - 14
+                    for position in victims
                 )
                 self._item_count -= len(victims)
                 block.access_filter.clear()
-                self._rebuild(block, survivors, hot_large)
+                self._rebuild_from_spans(
+                    block, container, survivor_spans, hot_large,
+                    adopt_staging=True,
+                )
                 return True
             if len(hot_large) != len(block.large_refs):
-                self._rebuild(block, items, hot_large)
+                self._rebuild_from_spans(
+                    block, container, spans, hot_large, adopt_staging=True
+                )
                 block.access_filter.clear()
                 return True
         elif len(hot_large) != len(block.large_refs):
@@ -756,6 +1064,17 @@ class ZZone:
             self._recharge(old_bytes, block.memory_bytes)
             return True
         block.access_filter.clear()
+        if (
+            not freed
+            and block.staged_index
+            and 2 * block.staged_bytes >= self.append_region_bytes
+        ):
+            # Nothing in the container was evictable (all hot, or empty)
+            # and the region holds enough raw bytes that compressing them
+            # frees real memory: merge.  A near-empty region is left alone
+            # — flushing it would reset the put amortisation for crumbs.
+            self._flush_staging(block)
+            return True
         return freed
 
     # -- accounting and invariants ----------------------------------------------------
@@ -769,6 +1088,18 @@ class ZZone:
         and skipped rather than crashing the iteration.
         """
         for leaf in list(self._trie.leaves()):
+            if (
+                leaf.staged_index
+                and self.verify_checksums
+                and not leaf.staged_checksum_ok()
+            ):
+                # Damaged staged bytes quarantine the whole block, same as
+                # a damaged container — and before anything of the leaf is
+                # yielded, so a snapshot never holds items the zone just
+                # dropped.
+                self.stats.staged_checksum_failures += 1
+                self._quarantine(leaf)
+                continue
             container = self._container_of(leaf, charge=False)
             if container is None:
                 continue
@@ -778,25 +1109,39 @@ class ZZone:
                 value = self._large_bytes(leaf, key, large, charge=False)
                 if value is not None:
                     yield key, value
+            # Staged entries last: a staged write is the newest version of
+            # its key, so replaying this iteration in order (as snapshot
+            # load does) lets it overwrite any stale shadow yielded above.
+            for item in leaf.staged_items():
+                yield item.key, item.value
 
     def memory_usage(self) -> Dict[str, int]:
-        """Byte breakdown: compressed items, metadata, index."""
+        """Byte breakdown: compressed items, staged items, metadata, index."""
         stored = 0
         metadata = 0
         uncompressed = 0
+        staged = 0
         for leaf in self._trie.leaves():
             stored += leaf.stored_bytes
-            metadata += leaf.memory_bytes - leaf.stored_bytes - sum(
-                ref.compressed.stored_size for ref in leaf.large_refs.values()
+            staged += leaf.staged_bytes
+            metadata += (
+                leaf.memory_bytes
+                - leaf.stored_bytes
+                - leaf.staged_bytes
+                - sum(
+                    ref.compressed.stored_size
+                    for ref in leaf.large_refs.values()
+                )
             )
             stored += sum(ref.compressed.stored_size for ref in leaf.large_refs.values())
-            uncompressed += leaf.uncompressed_size + sum(
+            uncompressed += leaf.uncompressed_size + leaf.staged_bytes + sum(
                 ref.uncompressed_size for ref in leaf.large_refs.values()
             )
         return {
             "compressed_items": stored,
             "uncompressed_items": uncompressed,
             "block_metadata": metadata,
+            "staged_items": staged,
             "trie_index": self._trie.memory_bytes,
             "total": self._used,
         }
@@ -810,7 +1155,7 @@ class ZZone:
         item_total = 0
         for leaf in self._trie.leaves():
             total += leaf.memory_bytes
-            item_total += leaf.item_count + len(leaf.large_refs)
+            item_total += leaf.item_count + leaf.staged_count + len(leaf.large_refs)
         if total != self._used:
             raise AssertionError(
                 f"used_bytes={self._used} but structures sum to {total}"

@@ -4,8 +4,11 @@ import json
 
 import pytest
 
+import subprocess
+
 from repro.analysis.benchjson import (
     BenchRecord,
+    append_records,
     git_revision,
     load_records,
     percentile,
@@ -77,6 +80,48 @@ class TestRecords:
             load_records(path)
 
 
+def _rec(bench="replay_etc_mzx", keys=3000, ops=1000.0, rev="aaa1111"):
+    return BenchRecord(
+        bench=bench,
+        config={"workload": "ETC", "num_keys": keys},
+        ops_per_sec=ops,
+        wall_s=1.0,
+        git_rev=rev,
+    )
+
+
+class TestAppendRecords:
+    def test_creates_missing_file(self, tmp_path):
+        path = tmp_path / "BENCH_wallclock.json"
+        merged = append_records([_rec()], path)
+        assert merged == [_rec()]
+        assert load_records(path) == [_rec()]
+
+    def test_same_identity_is_replaced_not_duplicated(self, tmp_path):
+        """Re-running a bench at the same rev updates its row in place."""
+        path = tmp_path / "BENCH_wallclock.json"
+        append_records([_rec(ops=1000.0)], path)
+        merged = append_records([_rec(ops=2000.0)], path)
+        assert len(merged) == 1
+        assert merged[0].ops_per_sec == 2000.0
+        assert load_records(path) == merged
+
+    def test_other_revisions_are_kept(self, tmp_path):
+        """Records measured at older revs stay as history; the dedupe key
+        is (bench, config, git_rev), so only the same-rev row is replaced."""
+        path = tmp_path / "BENCH_wallclock.json"
+        append_records([_rec(rev="aaa1111", ops=1000.0)], path)
+        merged = append_records([_rec(rev="bbb2222", ops=3000.0)], path)
+        assert len(merged) == 2
+        assert {r.git_rev for r in merged} == {"aaa1111", "bbb2222"}
+
+    def test_distinct_configs_coexist(self, tmp_path):
+        path = tmp_path / "BENCH_wallclock.json"
+        append_records([_rec(keys=3000)], path)
+        merged = append_records([_rec(keys=30000)], path)
+        assert len(merged) == 2
+
+
 class TestGitRevision:
     def test_of_this_repo(self):
         rev = git_revision()
@@ -84,3 +129,27 @@ class TestGitRevision:
 
     def test_fallback_outside_git(self, tmp_path):
         assert git_revision(tmp_path) == "unknown"
+
+    def test_dirty_worktree_gets_suffix(self, tmp_path):
+        """A record measured against uncommitted code must say so."""
+        git = ["git", "-C", str(tmp_path)]
+        env_id = [
+            "-c", "user.email=bench@example.com",
+            "-c", "user.name=bench",
+        ]
+        try:
+            subprocess.run(
+                ["git", "init", "-q", str(tmp_path)],
+                check=True, capture_output=True,
+            )
+            (tmp_path / "f.txt").write_text("one\n")
+            subprocess.run(git + ["add", "f.txt"], check=True,
+                           capture_output=True)
+            subprocess.run(git + env_id + ["commit", "-q", "-m", "x"],
+                           check=True, capture_output=True)
+        except (OSError, subprocess.CalledProcessError):
+            pytest.skip("git unavailable")
+        clean = git_revision(tmp_path)
+        assert clean != "unknown" and not clean.endswith("-dirty")
+        (tmp_path / "f.txt").write_text("two\n")
+        assert git_revision(tmp_path) == clean + "-dirty"

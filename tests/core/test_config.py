@@ -36,11 +36,24 @@ class TestConfigValidation:
             ("min_zone_fraction", 0.0),
             ("min_zone_fraction", 0.5),
             ("promotion_policy", "sometimes"),
+            ("append_region_bytes", -1),
+            ("append_region_bytes", 4096),  # exceeds block_capacity
+            ("decompressed_cache_blocks", -1),
         ],
     )
     def test_invalid_rejected(self, field, value):
         with pytest.raises(ConfigurationError):
             valid_config(**{field: value}).validate()
+
+    def test_fastpath_knobs_default_off(self):
+        config = valid_config()
+        assert config.append_region_bytes == 0
+        assert config.decompressed_cache_blocks == 0
+
+    def test_fastpath_knobs_accepted(self):
+        valid_config(
+            append_region_bytes=1024, decompressed_cache_blocks=128
+        ).validate()
 
     @pytest.mark.parametrize("policy", ["reuse-time", "always", "never"])
     def test_promotion_policies_accepted(self, policy):

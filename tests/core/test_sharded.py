@@ -79,3 +79,64 @@ class TestShardedZExpander:
         config = ZExpanderConfig(total_capacity=10)
         with pytest.raises(ConfigurationError):
             ShardedZExpander(config, num_shards=20)
+
+
+def make_fastpath_fleet(num_shards=4, total=256 * 1024):
+    config = ZExpanderConfig(
+        total_capacity=total,
+        nzone_fraction=0.3,
+        adaptive=False,
+        marker_interval_seconds=1e9,
+        seed=5,
+        append_region_bytes=512,
+        decompressed_cache_blocks=16,
+    )
+    return ShardedZExpander(config, num_shards=num_shards, clock=VirtualClock())
+
+
+class TestFastPathSharding:
+    def test_knobs_propagate_to_every_shard(self):
+        fleet = make_fastpath_fleet(num_shards=4)
+        for shard in fleet.shards:
+            assert shard.zzone.append_region_bytes == 512
+            assert shard.zzone.decompressed_cache_blocks == 16
+
+    def test_default_fleet_keeps_fastpath_dark(self):
+        fleet = make_fleet(num_shards=2)
+        for shard in fleet.shards:
+            assert shard.zzone.append_region_bytes == 0
+            assert shard.zzone.decompressed_cache_blocks == 0
+        totals = fleet.aggregate_fastpath()
+        assert all(value == 0 for value in totals.values())
+
+    def test_aggregate_fastpath_sums_shard_counters(self):
+        fleet = make_fastpath_fleet(num_shards=4)
+        generator = PlacesValueGenerator(seed=1)
+        for i in range(2000):
+            fleet.clock.advance(1e-5)
+            fleet.set(b"key:%08d" % i, generator.generate(i))
+        for i in range(2000):
+            fleet.clock.advance(1e-5)
+            fleet.get(b"key:%08d" % i)
+        totals = fleet.aggregate_fastpath()
+        assert set(totals) == {
+            "staged_puts",
+            "staging_flushes",
+            "container_cache_hits",
+            "container_cache_misses",
+            "container_cache_bytes",
+        }
+        assert totals["staged_puts"] > 0
+        for name in (
+            "staged_puts",
+            "staging_flushes",
+            "container_cache_hits",
+            "container_cache_misses",
+        ):
+            assert totals[name] == sum(
+                getattr(shard.zzone.stats, name) for shard in fleet.shards
+            )
+        assert totals["container_cache_bytes"] == sum(
+            shard.zzone.container_cache_bytes() for shard in fleet.shards
+        )
+        fleet.check_invariants()

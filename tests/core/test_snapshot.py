@@ -252,3 +252,61 @@ class TestRecoveryMode:
         assert result.loaded == 10
         assert result.skipped == 1
         assert "header" in result.error
+
+
+class TestFastPathSnapshot:
+    """Snapshots must capture staged (not-yet-merged) Z-zone items and
+    never persist the decompressed-container cache."""
+
+    def _fastpath_cache(self, items=400):
+        clock = VirtualClock()
+        cache = ZExpander(
+            ZExpanderConfig(
+                total_capacity=64 * 1024,
+                nzone_fraction=0.3,
+                adaptive=False,
+                marker_interval_seconds=1e9,
+                seed=9,
+                append_region_bytes=512,
+                decompressed_cache_blocks=8,
+            ),
+            clock=clock,
+        )
+        generator = PlacesValueGenerator(seed=2)
+        for i in range(items):
+            clock.advance(1e-4)
+            cache.set(b"snap:%06d" % i, generator.generate(i))
+        return cache
+
+    def test_staged_items_survive_roundtrip(self, tmp_path):
+        cache = self._fastpath_cache()
+        assert any(
+            leaf.staged_index for leaf in cache.zzone._trie.leaves()
+        ), "workload must leave some items staged at snapshot time"
+        originals = dict(
+            list(cache.zzone.items()) + list(cache.nzone.items())
+        )
+        path = tmp_path / "fastpath.snap"
+        written = write_snapshot(cache, path)
+        assert written == cache.item_count
+        restored = self._fastpath_cache(items=0)
+        load_snapshot(restored, path)
+        assert restored.item_count == pytest.approx(cache.item_count, abs=5)
+        wrong = sum(
+            1
+            for key, value in originals.items()
+            if restored.get(key) not in (None, value)
+        )
+        assert wrong == 0
+        restored.check_invariants()
+
+    def test_restored_into_default_config_flushes_cleanly(self, tmp_path):
+        """A snapshot taken with the fast path armed loads into a cache
+        with the knobs off — staged items were written as plain records."""
+        cache = self._fastpath_cache(items=200)
+        path = tmp_path / "mixed.snap"
+        write_snapshot(cache, path)
+        restored = filled_zexpander(items=0)
+        loaded = load_snapshot(restored, path)
+        assert int(loaded) > 0
+        restored.check_invariants()

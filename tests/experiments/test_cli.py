@@ -105,6 +105,26 @@ class TestRenderStats:
         assert "repro_hit_rate 0.75" in out
         assert "version" not in out
 
+    def test_fastpath_counters_render_in_every_format(self):
+        import json
+
+        from repro.experiments.cli import render_stats
+
+        stats = {
+            "fastpath_staged_puts": "41",
+            "fastpath_staging_flushes": "3",
+            "fastpath_container_cache_hits": "17",
+            "fastpath_container_cache_misses": "5",
+            "fastpath_container_cache_bytes": "2048",
+        }
+        kv = render_stats(stats, "kv")
+        assert "fastpath_staged_puts" in kv and " 41" in kv
+        data = json.loads(render_stats(stats, "json"))
+        assert data["fastpath_container_cache_bytes"] == 2048
+        prom = render_stats(stats, "prom")
+        assert "repro_fastpath_container_cache_hits 17" in prom
+        assert "repro_fastpath_staging_flushes 3" in prom
+
     def test_stats_against_dead_port_exits_2(self, capsys):
         code = main(
             ["stats", "--port", "1", "--deadline", "0.5"]

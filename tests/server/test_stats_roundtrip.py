@@ -112,3 +112,41 @@ class TestStatsRoundTrip:
             await task
 
         asyncio.run(scenario())
+
+    def test_fastpath_counters_cross_the_wire(self):
+        async def scenario():
+            cache = ZExpander(
+                ZExpanderConfig(
+                    total_capacity=128 * 1024,
+                    append_region_bytes=512,
+                    decompressed_cache_blocks=8,
+                )
+            )
+            server = CacheServer(cache, ServerConfig(port=0))
+            await server.start()
+            task = asyncio.create_task(server.run())
+            client = MemcacheClient(port=server.port)
+            # Enough volume to spill past the N-zone into Z-zone blocks.
+            for i in range(600):
+                await client.set(b"fp%04d" % i, b"w" * 160)
+            for i in range(600):
+                await client.get(b"fp%04d" % i)
+            wire = await client.stats()
+            for name in (
+                "fastpath_staged_puts",
+                "fastpath_staging_flushes",
+                "fastpath_container_cache_hits",
+                "fastpath_container_cache_misses",
+                "fastpath_container_cache_bytes",
+            ):
+                assert name in wire
+                assert int(wire[name]) >= 0
+            assert int(wire["fastpath_staged_puts"]) == (
+                cache.zzone.stats.staged_puts
+            )
+            assert int(wire["fastpath_staged_puts"]) > 0
+            await client.close()
+            server.begin_drain()
+            await task
+
+        asyncio.run(scenario())
