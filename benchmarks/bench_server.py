@@ -43,12 +43,15 @@ SCALES = {
 }
 
 
-async def _started_server(seed: int = 42):
+async def _started_server(seed: int = 42, journal_dir: str | None = None):
     cache = ShardedZExpander(
         ZExpanderConfig(total_capacity=8 * 1024 * 1024, seed=seed),
         num_shards=2,
     )
-    server = CacheServer(cache, ServerConfig(port=0))
+    config = ServerConfig(port=0)
+    if journal_dir is not None:
+        config = ServerConfig(port=0, journal_dir=journal_dir, fsync="interval")
+    server = CacheServer(cache, config)
     await server.start()
     task = asyncio.create_task(server.run())
     return server, task
@@ -118,6 +121,65 @@ async def bench_set_rtt(ops: int, keys: int, seed: int) -> BenchRecord:
         "server_set_rtt", {"ops": ops, "keys": keys, "seed": seed}, samples,
         wall, ops,
     )
+
+
+async def _set_rtt_samples(
+    ops: int, keys: int, seed: int, journal_dir: str | None
+):
+    """One SET-RTT measurement pass; returns (samples_us, wall_s)."""
+    server, task = await _started_server(seed, journal_dir=journal_dir)
+    client = MemcacheClient(port=server.port, pool_size=1)
+    samples = []
+    started = time.perf_counter()
+    for i in range(ops):
+        key_id = i % keys
+        value = expected_value(seed, 0, key_id, 1)
+        t0 = time.perf_counter()
+        await client.set(key_name(0, key_id), value)
+        samples.append((time.perf_counter() - t0) * 1e6)
+    wall = time.perf_counter() - started
+    await client.close()
+    server.begin_drain()
+    await task
+    return samples, wall
+
+
+#: Acceptable journal-on slowdown for SET RTT under fsync=interval.
+JOURNAL_OVERHEAD_BUDGET = 1.15
+
+
+async def bench_set_rtt_journal(ops: int, keys: int, seed: int):
+    """SET RTT with the write-ahead journal off vs on (fsync=interval).
+
+    Interleaved best-of-3 so the two configurations see the same machine
+    weather; returns (off_record, on_record, overhead_ratio).  The ratio
+    compares best-pass p50s — the budget gate in main() enforces
+    JOURNAL_OVERHEAD_BUDGET on it.
+    """
+    import tempfile
+
+    best: dict = {"off": None, "on": None}
+    for _round in range(3):
+        for mode in ("off", "on"):
+            if mode == "on":
+                with tempfile.TemporaryDirectory(prefix="zx-bench-wal-") as d:
+                    samples, wall = await _set_rtt_samples(ops, keys, seed, d)
+            else:
+                samples, wall = await _set_rtt_samples(ops, keys, seed, None)
+            p50 = percentile(samples, 50)
+            if best[mode] is None or p50 < best[mode][0]:
+                best[mode] = (p50, samples, wall)
+    records = {}
+    for mode in ("off", "on"):
+        _p50, samples, wall = best[mode]
+        records[mode] = _record(
+            f"server_set_rtt_journal_{mode}",
+            {"ops": ops, "keys": keys, "seed": seed, "rounds": 3,
+             "fsync": "interval" if mode == "on" else None},
+            samples, wall, ops,
+        )
+    ratio = best["on"][0] / best["off"][0] if best["off"][0] > 0 else 1.0
+    return records["off"], records["on"], ratio
 
 
 async def bench_pooled_throughput(
@@ -204,14 +266,29 @@ def main(argv=None) -> int:
                 f"{record.bench}: {record.ops_per_sec:,.0f} ops/s"
                 f"{rtt} ({record.wall_s:.2f}s)"
             )
-        return records
+        off, on, ratio = await bench_set_rtt_journal(
+            scale["ops"], scale["keys"], args.seed
+        )
+        records.extend([off, on])
+        print(
+            f"{on.bench}: p50={on.p50_us:.0f}us vs {off.p50_us:.0f}us off "
+            f"— overhead {ratio:.3f}x (budget {JOURNAL_OVERHEAD_BUDGET}x)"
+        )
+        return records, ratio
 
-    records = asyncio.run(run_all())
+    records, ratio = asyncio.run(run_all())
     merged = append_records(records, Path(args.out))
     print(
         f"wrote {len(records)} records to {args.out} "
         f"({len(merged)} total after merge)"
     )
+    if ratio > JOURNAL_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: journal-on SET RTT {ratio:.3f}x exceeds the "
+            f"{JOURNAL_OVERHEAD_BUDGET}x budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

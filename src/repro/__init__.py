@@ -23,13 +23,16 @@ from repro.common.clock import VirtualClock
 from repro.common.errors import (
     CacheError,
     CapacityError,
+    CheckpointError,
     CodecError,
     ConfigurationError,
     ConnectionDrainingError,
     CorruptionDetectedError,
+    DurabilityError,
     FaultPlanError,
     IntegrityError,
     ItemTooLargeError,
+    JournalError,
     ProtocolError,
     RequestTimeoutError,
     ServerOverloadedError,
@@ -55,6 +58,16 @@ from repro.compression import (
     NullCompressor,
     ZlibCompressor,
 )
+from repro.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    DurabilityStats,
+    JournalConfig,
+    JournalWriter,
+    RecoveryResult,
+    replay_journal,
+    scrub_directory,
+)
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.metrics import (
     Counter,
@@ -75,11 +88,16 @@ __all__ = [
     "MB",
     "CacheError",
     "CapacityError",
+    "CheckpointError",
     "CodecError",
     "ConfigurationError",
     "ConnectionDrainingError",
     "CorruptionDetectedError",
     "Counter",
+    "DurabilityConfig",
+    "DurabilityError",
+    "DurabilityManager",
+    "DurabilityStats",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
@@ -89,6 +107,9 @@ __all__ = [
     "Histogram",
     "IntegrityError",
     "ItemTooLargeError",
+    "JournalConfig",
+    "JournalError",
+    "JournalWriter",
     "KVItem",
     "LZ4Compressor",
     "LoadResult",
@@ -99,6 +120,7 @@ __all__ = [
     "Operation",
     "PlainZone",
     "ProtocolError",
+    "RecoveryResult",
     "Request",
     "RequestTimeoutError",
     "ServerOverloadedError",
@@ -117,7 +139,9 @@ __all__ = [
     "log_buckets",
     "merge_snapshots",
     "parse_size",
+    "replay_journal",
     "replay_trace",
+    "scrub_directory",
     "write_snapshot",
     "__version__",
 ]

@@ -99,3 +99,20 @@ class ConnectionDrainingError(ServingError):
 
 class ProtocolError(ServingError):
     """The peer sent bytes that do not parse as memcached text protocol."""
+
+
+class DurabilityError(CacheError):
+    """Base class for errors raised by the durability layer.
+
+    Recovery paths never let these escape to a crash: a damaged journal
+    segment or checkpoint is truncated or quarantined and counted, and
+    the cache starts with whatever prefix of history survived.
+    """
+
+
+class JournalError(DurabilityError):
+    """A journal segment is malformed (bad magic, framing, or CRC)."""
+
+
+class CheckpointError(DurabilityError):
+    """A checkpoint file failed its at-rest CRC or format validation."""

@@ -81,6 +81,16 @@ class ShardedZExpander:
         """Content-Filter pre-check on the owning shard (no side effects)."""
         return self.shard_for(key).routes_to_zzone(key)
 
+    def attach_journal(self, journal) -> None:
+        """Write-through durability on every shard (one shared writer).
+
+        The serving layer is single-threaded (asyncio), so one appender
+        behind all shards needs no locking; records interleave in
+        acknowledgement order, which is exactly replay order.
+        """
+        for shard in self.shards:
+            shard.attach_journal(journal)
+
     def items(self):
         """All resident (key, value) pairs, coldest first.
 

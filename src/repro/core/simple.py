@@ -20,6 +20,11 @@ class SimpleKVCache:
     def __init__(self, nzone: NZone) -> None:
         self.nzone = nzone
         self.stats = ZExpanderStats()
+        self.journal = None
+
+    def attach_journal(self, journal) -> None:
+        """Write-through durability (same contract as ZExpander's)."""
+        self.journal = journal
 
     def get(self, key: bytes) -> Optional[bytes]:
         self.stats.gets += 1
@@ -35,10 +40,17 @@ class SimpleKVCache:
         self.stats.sets += 1
         self.stats.serviced_nzone += 1
         self.nzone.set(key, value)
+        if self.journal is not None:
+            self.journal.append_set(key, value)
 
     def delete(self, key: bytes) -> bool:
         self.stats.deletes += 1
-        return self.nzone.delete(key)
+        deleted = self.nzone.delete(key)
+        # Journaled even on NOT_FOUND: a key evicted here may still live
+        # in an older checkpoint, and replay must not resurrect it.
+        if self.journal is not None:
+            self.journal.append_delete(key)
+        return deleted
 
     def __contains__(self, key: bytes) -> bool:
         return key in self.nzone

@@ -12,8 +12,10 @@ pickling — the format is independent of Python versions and safe to load
 from untrusted sources (lengths are bounds-checked).
 
 Crash safety: writing to a path goes through ``<path>.tmp`` with a
-flush+fsync before an atomic ``os.replace``, so a crash mid-dump can
-leave a stale or absent snapshot at the final path but never a truncated
+flush+fsync before an atomic ``os.replace``, followed by an fsync of the
+parent directory so the rename itself survives power loss (see
+:func:`repro.common.fsio.atomic_write`); a crash mid-dump can leave a
+stale or absent snapshot at the final path but never a truncated
 one.  Loading with ``strict=False`` tolerates a truncated *tail* anyway
 (e.g. a snapshot taken through a bare stream, or torn storage): the
 partial trailing record is counted and skipped, and warm restart degrades
@@ -22,10 +24,11 @@ to a partial warm cache instead of refusing to start.
 
 from __future__ import annotations
 
-import os
 import struct
 from pathlib import Path
 from typing import BinaryIO, Iterator, Optional, Tuple, Union
+
+from repro.common.fsio import atomic_write
 
 MAGIC = b"ZXSNAP01"
 _LENGTHS = struct.Struct(">II")
@@ -68,28 +71,15 @@ def write_snapshot(cache, destination: Union[PathLike, BinaryIO]) -> int:
 
     Writing to a *path* is crash-safe: the bytes land in
     ``<destination>.tmp`` first, are flushed and fsynced, and only then
-    atomically renamed over the final path.  A crash at any point leaves
-    either the previous snapshot or none — never a truncated file at the
-    final path.  Writing to an already-open stream is left to the caller.
+    atomically renamed over the final path, after which the parent
+    directory is fsynced so the rename is durable too.  A crash at any
+    point leaves either the previous snapshot or none — never a
+    truncated file at the final path.  Writing to an already-open stream
+    is left to the caller.
     """
     if hasattr(destination, "write"):
         return _write_stream(cache, destination)
-    final = os.fspath(destination)
-    tmp = final + ".tmp"
-    try:
-        with open(tmp, "wb") as stream:
-            count = _write_stream(cache, stream)
-            stream.flush()
-            os.fsync(stream.fileno())
-        os.replace(tmp, final)
-    except BaseException:
-        # Best-effort cleanup; the final path was never touched.
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    return count
+    return atomic_write(destination, lambda stream: _write_stream(cache, stream))
 
 
 def _write_stream(cache, stream: BinaryIO) -> int:

@@ -51,6 +51,9 @@ class ZExpander:
         #: Armed only by a configured fault plan; ``None`` in production
         #: paths, so chaos machinery costs a single attribute.
         self.fault_injector = None
+        #: Write-ahead journal attached by the durability layer; ``None``
+        #: (the default) keeps set/delete to one attribute test.
+        self.journal = None
         compressor = config.compressor
         if config.fault_plan is not None:
             from repro.compression.zlibc import ZlibCompressor
@@ -146,6 +149,10 @@ class ZExpander:
             self.zzone.schedule_removal(key, hashed, self.clock.now() + delay)
             self.stats.postponed_removals += 1
         self._set_into_nzone(key, value)
+        # Journal only after the in-memory write succeeded: a rolled-back
+        # SET was never acknowledged and must not resurrect at recovery.
+        if self.journal is not None:
+            self.journal.append_set(key, value)
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key`` from both zones (§3)."""
@@ -159,7 +166,20 @@ class ZExpander:
         in_z = self.zzone.delete(key, hashed)
         if in_n or was_expensive:
             self._record_service(nzone=not was_expensive)
+        # Journal every acknowledged delete, found or not: the key may
+        # live on in an earlier journal segment or checkpoint (e.g. it
+        # was evicted here), and replay must not resurrect it.
+        if self.journal is not None:
+            self.journal.append_delete(key)
         return in_n or in_z
+
+    def attach_journal(self, journal) -> None:
+        """Write-through durability: journal every acknowledged mutation.
+
+        Attach *after* any snapshot/journal recovery has finished, so
+        replayed records are not re-journaled.  Detach with ``None``.
+        """
+        self.journal = journal
 
     def __contains__(self, key: bytes) -> bool:
         """Residency test without recency side effects (filters only for Z)."""

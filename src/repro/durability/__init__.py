@@ -1,0 +1,56 @@
+"""Crash-consistent durability: write-ahead journal + checkpoints + scrub.
+
+The cache itself is volatile by design; this package makes its contents
+survive anything up to and including ``kill -9`` and power loss, with a
+loss bound chosen by fsync policy:
+
+* :mod:`repro.durability.journal` — CRC-framed append-only segments that
+  every acknowledged SET/DELETE writes through before the ack.
+* :mod:`repro.durability.manager` — incremental checkpoints (snapshot
+  format + CRC sidecar), point-in-time recovery (checkpoint + replay),
+  pruning, and the :class:`DurabilityManager` that owns a directory.
+* :mod:`repro.durability.scrub` — background re-verification of at-rest
+  files, quarantining rot before recovery can trip over it.
+
+See DESIGN.md §10 for the format, the recovery ordering argument, and
+the per-policy loss bounds.
+"""
+
+from repro.durability.journal import (
+    OP_DELETE,
+    OP_SET,
+    DurabilityStats,
+    JournalConfig,
+    JournalWriter,
+    SegmentScan,
+    encode_record,
+    list_segments,
+    read_segment,
+)
+from repro.durability.manager import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryResult,
+    list_checkpoints,
+    replay_journal,
+)
+from repro.durability.scrub import ScrubReport, scrub_directory
+
+__all__ = [
+    "OP_DELETE",
+    "OP_SET",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "DurabilityStats",
+    "JournalConfig",
+    "JournalWriter",
+    "RecoveryResult",
+    "ScrubReport",
+    "SegmentScan",
+    "encode_record",
+    "list_checkpoints",
+    "list_segments",
+    "read_segment",
+    "replay_journal",
+    "scrub_directory",
+]

@@ -1,0 +1,443 @@
+"""Checkpoints, point-in-time recovery, and the durability manager.
+
+A durability directory holds three kinds of files::
+
+    journal-XXXXXXXX.wal        append-only segments (see journal.py)
+    checkpoint-XXXXXXXX.snap    base image covering all segments < XXXXXXXX
+    checkpoint-XXXXXXXX.snap.crc32   sidecar: hex CRC32 of the .snap bytes
+    quarantine/                 damaged files moved aside, never deleted
+
+A checkpoint reuses the snapshot wire format (so a checkpoint loads with
+the ordinary :func:`repro.core.snapshot.load_snapshot`) and is written
+through :func:`repro.common.fsio.atomic_write`; its sequence number is
+the journal segment that was *active when the image was taken*, i.e.
+recovery = load ``checkpoint-S.snap`` then replay segments ``>= S`` in
+order.  After a checkpoint lands durably, segments ``< S`` and older
+checkpoints are pruned — a crash mid-prune merely leaves extra files
+that the next recovery ignores.
+
+Recovery ordering (the crash-consistency argument):
+
+1. pick the newest checkpoint whose sidecar CRC matches its bytes;
+   damaged checkpoints are quarantined and the next older one is tried
+   (worst case: no base image, cold start + full journal replay);
+2. replay segments ``>= S`` ascending, stopping at the first torn or
+   CRC-failing record.  A torn *tail* (the normal crash artefact) is
+   truncated back to the valid prefix so the segment is clean at rest; a
+   damaged *middle* segment is quarantined along with every later
+   segment — applying newer records over a hole could resurrect deleted
+   keys, and a detected bounded loss beats silent wrongness.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.fsio import atomic_write, fsync_directory
+from repro.core.snapshot import load_snapshot, write_snapshot
+from repro.durability.journal import (
+    OP_SET,
+    SEGMENT_MAGIC,
+    DurabilityStats,
+    JournalConfig,
+    JournalWriter,
+    SegmentScan,
+    list_segments,
+    read_segment,
+)
+
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".snap"
+CRC_SUFFIX = ".crc32"
+QUARANTINE_DIR = "quarantine"
+
+
+def checkpoint_name(seq: int) -> str:
+    return f"{CHECKPOINT_PREFIX}{seq:08d}{CHECKPOINT_SUFFIX}"
+
+
+def parse_checkpoint_seq(name: str) -> Optional[int]:
+    if not (
+        name.startswith(CHECKPOINT_PREFIX) and name.endswith(CHECKPOINT_SUFFIX)
+    ):
+        return None
+    digits = name[len(CHECKPOINT_PREFIX) : -len(CHECKPOINT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_checkpoints(directory: str) -> List[tuple]:
+    """(seq, path) for every checkpoint, ascending by seq."""
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        seq = parse_checkpoint_seq(name)
+        if seq is not None:
+            found.append((seq, os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def file_crc32(path: str) -> int:
+    crc = 0
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 16), b""):
+            crc = zlib.crc32(chunk, crc)
+    return crc
+
+
+def checkpoint_crc_ok(path: str) -> bool:
+    """Does ``path``'s sidecar exist and match its bytes?"""
+    try:
+        with open(path + CRC_SUFFIX, "r", encoding="ascii") as stream:
+            stored = int(stream.read().strip(), 16)
+    except (OSError, ValueError):
+        return False
+    try:
+        return file_crc32(path) == stored
+    except OSError:
+        return False
+
+
+def quarantine_file(directory: str, path: str) -> Optional[str]:
+    """Move ``path`` (plus any sidecar) into ``directory/quarantine/``.
+
+    Returns the new path, or None if the move failed (the file is then
+    left in place but callers already treat it as unusable).
+    """
+    qdir = os.path.join(directory, QUARANTINE_DIR)
+    os.makedirs(qdir, exist_ok=True)
+    target = os.path.join(qdir, os.path.basename(path))
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    sidecar = path + CRC_SUFFIX
+    if os.path.exists(sidecar):
+        try:
+            os.replace(sidecar, target + CRC_SUFFIX)
+        except OSError:
+            pass
+    fsync_directory(directory)
+    return target
+
+
+@dataclass
+class RecoveryResult:
+    """What one recovery pass restored, skipped, and cut."""
+
+    checkpoint_seq: int = 0
+    checkpoint_loaded: int = 0
+    checkpoint_skipped: int = 0
+    replayed_segments: int = 0
+    replayed_records: int = 0
+    #: Damaged records hit (0 or 1: replay stops at the first).
+    torn_tail_records: int = 0
+    #: Bytes of journal past the last applied record (tail + later segments).
+    truncated_bytes: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    #: Human-readable damage descriptions, in the order encountered.
+    incidents: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.incidents
+
+
+@dataclass
+class DurabilityConfig:
+    """Everything the durability subsystem needs to know."""
+
+    directory: str
+    fsync: str = "interval"
+    fsync_interval: float = 0.05
+    segment_bytes: int = 1 << 20
+    #: Take a checkpoint once this many journal bytes accumulate past the
+    #: previous one (0 disables automatic checkpoints).
+    checkpoint_bytes: int = 4 << 20
+    #: Seconds between background integrity scrubs (0 disables).
+    scrub_interval: float = 30.0
+
+    def validate(self) -> None:
+        JournalConfig(
+            directory=self.directory,
+            segment_bytes=self.segment_bytes,
+            fsync=self.fsync,
+            fsync_interval=self.fsync_interval,
+        ).validate()
+        if self.checkpoint_bytes < 0:
+            raise ConfigurationError("checkpoint_bytes must be >= 0")
+        if self.scrub_interval < 0:
+            raise ConfigurationError("scrub_interval must be >= 0")
+
+
+class DurabilityManager:
+    """One durability directory: journal writer + checkpoints + recovery.
+
+    Lifecycle: construct, :meth:`recover_into` the (empty) cache, then
+    :meth:`attach_to` it so subsequent mutations write through.  The
+    attach happens *after* recovery so replayed records are not
+    re-journaled.
+    """
+
+    def __init__(
+        self,
+        config: DurabilityConfig,
+        stats: Optional[DurabilityStats] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.stats = stats if stats is not None else DurabilityStats()
+        self.writer: Optional[JournalWriter] = None
+        self._bytes_at_checkpoint = 0
+        self.last_recovery: Optional[RecoveryResult] = None
+        os.makedirs(config.directory, exist_ok=True)
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover_into(self, cache) -> RecoveryResult:
+        """Rebuild ``cache`` from checkpoint + journal, then open the writer."""
+        result = replay_journal(self.config.directory, cache, stats=self.stats)
+        self.last_recovery = result
+        self.writer = JournalWriter(
+            JournalConfig(
+                directory=self.config.directory,
+                segment_bytes=self.config.segment_bytes,
+                fsync=self.config.fsync,
+                fsync_interval=self.config.fsync_interval,
+            ),
+            stats=self.stats,
+        )
+        self._bytes_at_checkpoint = self.stats.journal_bytes
+        return result
+
+    def attach_to(self, cache) -> None:
+        """Wire write-through journaling into the cache (post-recovery)."""
+        assert self.writer is not None, "recover_into must run first"
+        cache.attach_journal(self.writer)
+
+    # -- checkpoints -----------------------------------------------------------
+
+    @property
+    def bytes_since_checkpoint(self) -> int:
+        return self.stats.journal_bytes - self._bytes_at_checkpoint
+
+    def should_checkpoint(self) -> bool:
+        return (
+            self.config.checkpoint_bytes > 0
+            and self.bytes_since_checkpoint >= self.config.checkpoint_bytes
+        )
+
+    def checkpoint(self, cache) -> int:
+        """Write a base image covering everything journaled so far.
+
+        Returns the checkpoint's sequence number.  Ordering: rotate (so
+        the image covers all closed segments), write + fsync the image
+        and its CRC sidecar atomically, then prune covered segments and
+        superseded checkpoints.
+        """
+        assert self.writer is not None, "recover_into must run first"
+        self.writer.sync()
+        seq = self.writer.rotate()
+        directory = self.config.directory
+        path = os.path.join(directory, checkpoint_name(seq))
+
+        def write_image(stream):
+            crc_box = _Crc32Stream(stream)
+            count = write_snapshot(cache, crc_box)
+            return count, crc_box.crc
+
+        count, crc = atomic_write(path, write_image)
+        atomic_write(
+            path + CRC_SUFFIX,
+            lambda stream: stream.write(b"%08x\n" % crc),
+        )
+        self.stats.checkpoints_written += 1
+        self.stats.checkpoint_items += count
+        self._bytes_at_checkpoint = self.stats.journal_bytes
+        self._prune(keep_from=seq)
+        return seq
+
+    def _prune(self, keep_from: int) -> None:
+        directory = self.config.directory
+        for seq, path in list_segments(directory):
+            if seq < keep_from:
+                try:
+                    os.unlink(path)
+                    self.stats.segments_pruned += 1
+                except OSError:
+                    pass
+        for seq, path in list_checkpoints(directory):
+            if seq < keep_from:
+                try:
+                    os.unlink(path)
+                    os.unlink(path + CRC_SUFFIX)
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    continue
+                self.stats.checkpoints_pruned += 1
+        fsync_directory(directory)
+
+    # -- scrubbing -------------------------------------------------------------
+
+    def scrub_once(self):
+        """Verify at-rest files; see :mod:`repro.durability.scrub`."""
+        from repro.durability.scrub import scrub_directory
+
+        active = self.writer.current_path if self.writer is not None else None
+        return scrub_directory(
+            self.config.directory, active_segment=active, stats=self.stats
+        )
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self, cache=None) -> None:
+        """Final checkpoint (if a cache is given), then close the journal."""
+        if self.writer is None:
+            return
+        if cache is not None:
+            self.checkpoint(cache)
+        self.writer.close()
+
+
+class _Crc32Stream:
+    """Write-through wrapper computing CRC32 of everything written."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.crc = 0
+
+    def write(self, data: bytes) -> int:
+        self.crc = zlib.crc32(data, self.crc)
+        return self._inner.write(data)
+
+
+# -- standalone recovery --------------------------------------------------------
+
+
+def replay_journal(
+    directory: str,
+    cache,
+    stats: Optional[DurabilityStats] = None,
+) -> RecoveryResult:
+    """Point-in-time recovery: newest valid checkpoint + journal replay.
+
+    Pure function of the directory's contents; never raises for damage —
+    every anomaly is counted, quarantined or truncated, and described in
+    the result's ``incidents``.
+    """
+    result = RecoveryResult()
+    directory = os.fspath(directory)
+
+    # 1. Newest checkpoint whose at-rest CRC matches.
+    base_seq = 0
+    for seq, path in reversed(list_checkpoints(directory)):
+        if not checkpoint_crc_ok(path):
+            result.incidents.append(
+                f"checkpoint {os.path.basename(path)} failed its CRC; quarantined"
+            )
+            moved = quarantine_file(directory, path)
+            if moved is not None:
+                result.quarantined.append(os.path.basename(path))
+            continue
+        try:
+            loaded = load_snapshot(cache, path, strict=False)
+        except Exception as exc:
+            result.incidents.append(
+                f"checkpoint {os.path.basename(path)} unreadable "
+                f"({type(exc).__name__}: {exc}); quarantined"
+            )
+            moved = quarantine_file(directory, path)
+            if moved is not None:
+                result.quarantined.append(os.path.basename(path))
+            continue
+        base_seq = seq
+        result.checkpoint_seq = seq
+        result.checkpoint_loaded = loaded.loaded
+        result.checkpoint_skipped = loaded.skipped
+        if loaded.error:
+            result.incidents.append(
+                f"checkpoint tail skipped: {loaded.error}"
+            )
+        break
+
+    # 2. Replay segments >= base_seq, oldest first.
+    segments = [
+        (seq, path) for seq, path in list_segments(directory) if seq >= base_seq
+    ]
+    damaged_at: Optional[int] = None
+    for index, (seq, path) in enumerate(segments):
+        if damaged_at is not None:
+            # Never apply records newer than a hole in history.
+            result.truncated_bytes += _file_size(path)
+            result.incidents.append(
+                f"segment {os.path.basename(path)} follows damaged history; "
+                "quarantined"
+            )
+            if quarantine_file(directory, path) is not None:
+                result.quarantined.append(os.path.basename(path))
+            continue
+
+        def apply(op, key, value):
+            if op == OP_SET:
+                cache.set(key, value)
+            else:
+                cache.delete(key)
+
+        scan: SegmentScan = read_segment(path, apply)
+        result.replayed_segments += 1
+        result.replayed_records += scan.records
+        if scan.clean:
+            continue
+        damaged_at = seq
+        result.torn_tail_records += 1
+        result.truncated_bytes += scan.damaged_bytes
+        is_last = index == len(segments) - 1
+        kind = "torn tail" if is_last else "mid-log damage"
+        result.incidents.append(
+            f"{kind} in {os.path.basename(path)} at byte {scan.valid_bytes}: "
+            f"{scan.error}"
+        )
+        if scan.valid_bytes >= len(SEGMENT_MAGIC):
+            # Keep the valid prefix; cut the damage so the segment is
+            # clean at rest (and future scrubs do not re-flag it).
+            _truncate(path, scan.valid_bytes)
+        else:
+            # The magic itself was damaged: nothing salvageable.
+            if quarantine_file(directory, path) is not None:
+                result.quarantined.append(os.path.basename(path))
+
+    if stats is not None:
+        stats.recovered_checkpoint_seq = result.checkpoint_seq
+        stats.recovered_items = result.checkpoint_loaded
+        stats.recovery_skipped_records = result.checkpoint_skipped
+        stats.replayed_segments = result.replayed_segments
+        stats.replayed_records = result.replayed_records
+        stats.torn_tail_records = result.torn_tail_records
+        stats.truncated_bytes = result.truncated_bytes
+        stats.quarantined_files += len(result.quarantined)
+    return result
+
+
+def _file_size(path: str) -> int:
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def _truncate(path: str, length: int) -> None:
+    try:
+        with open(path, "r+b") as stream:
+            stream.truncate(length)
+            stream.flush()
+            os.fsync(stream.fileno())
+    except OSError:
+        pass

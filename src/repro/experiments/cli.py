@@ -7,7 +7,9 @@ Usage::
     python -m repro.experiments.cli run all --keys 8000 --requests 160000
     python -m repro.experiments.cli chaos --seed 7
     python -m repro.experiments.cli chaos --server --seed 7
+    python -m repro.experiments.cli chaos --crash --fsync always --seed 7
     python -m repro.experiments.cli serve --port 11311 --snapshot cache.snap
+    python -m repro.experiments.cli serve --port 11311 --journal-dir ./wal
     python -m repro.experiments.cli loadgen --port 11311 --requests 4000
 
 Each experiment prints the same rows/series the paper reports; scale
@@ -16,9 +18,12 @@ default scale).  ``chaos`` replays a workload under a seeded fault plan
 and exits nonzero if the cache crashed, broke an invariant, missed an
 injected corruption, or degraded disproportionately; ``chaos --server``
 runs the same discipline over a real TCP serving path (wire faults,
-drain, snapshot, warm restart, overload shedding).  ``serve`` runs the
-memcached-protocol server (SIGTERM drains gracefully); ``loadgen``
-drives one with seeded, self-verifying traffic.
+drain, snapshot, warm restart, overload shedding); ``chaos --crash``
+SIGKILLs a journalled server child at seeded points and verifies that
+recovery never returns wrong bytes and never loses acknowledged writes
+under ``--fsync always``.  ``serve`` runs the memcached-protocol server
+(SIGTERM drains gracefully; ``--journal-dir`` arms crash-consistent
+durability); ``loadgen`` drives one with seeded, self-verifying traffic.
 """
 
 from __future__ import annotations
@@ -135,6 +140,25 @@ def build_parser() -> argparse.ArgumentParser:
         "decompressed-container cache) so the chaos contract is exercised "
         "over staged bytes and cached containers",
     )
+    chaos_parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="kill-anywhere durability campaign: SIGKILL a journalled "
+        "server child at seeded points under load, restart, and verify "
+        "recovery against the loadgen oracle",
+    )
+    chaos_parser.add_argument(
+        "--crash-points",
+        type=int,
+        default=20,
+        help="number of seeded SIGKILL rounds (--crash mode only)",
+    )
+    chaos_parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="always",
+        help="journal fsync policy under test (--crash mode only)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the memcached-protocol server over a sharded zExpander"
@@ -167,6 +191,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="JSON fault plan armed on the cache (chaos demos)",
+    )
+    serve_parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="arm crash-consistent durability: write-ahead journal + "
+        "checkpoints in DIR, recovered from at start",
+    )
+    serve_parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="journal fsync policy (always: zero acked loss on power "
+        "cut; interval: bounded window; never: OS-paced)",
+    )
+    serve_parser.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=0.05,
+        help="seconds between fsyncs under --fsync interval",
+    )
+    serve_parser.add_argument(
+        "--journal-segment-bytes",
+        type=int,
+        default=1 << 20,
+        help="journal segment rotation threshold",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-bytes",
+        type=int,
+        default=4 << 20,
+        help="journal bytes between incremental checkpoints",
+    )
+    serve_parser.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=30.0,
+        help="seconds between at-rest integrity scrub passes",
     )
 
     stats_parser = subparsers.add_parser(
@@ -247,6 +309,26 @@ def _load_plan(path):
 def run_chaos_command(args) -> int:
     from repro.faults.chaos import run_chaos
 
+    if args.crash:
+        from repro.server.crash import run_crash_chaos
+
+        # --requests is the campaign-wide op budget: spread over every
+        # kill round so 'chaos --crash --crash-points 40' does more
+        # rounds of the same total work, not 2x the work.
+        per_conn = max(
+            1, args.requests // (args.connections * max(1, args.crash_points))
+        )
+        report = run_crash_chaos(
+            seed=args.seed,
+            kill_points=args.crash_points,
+            connections=args.connections,
+            requests_per_conn=per_conn,
+            keys_per_conn=max(1, args.keys // args.connections),
+            fsync=args.fsync,
+        )
+        print(report.render())
+        print(report.render_metrics(), file=sys.stderr)
+        return 0 if report.ok else 1
     plan = _load_plan(args.plan)
     if args.server:
         from repro.server.chaos import run_server_chaos
@@ -302,6 +384,12 @@ def run_serve_command(args) -> int:
         snapshot_path=args.snapshot,
         audit_interval=args.audit_interval,
         clock_mode=args.clock,
+        journal_dir=args.journal_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        journal_segment_bytes=args.journal_segment_bytes,
+        checkpoint_bytes=args.checkpoint_bytes,
+        scrub_interval=args.scrub_interval,
     )
 
     async def serve() -> int:
@@ -314,6 +402,16 @@ def run_serve_command(args) -> int:
             print(
                 f"warm start: {server.stats.snapshot_loaded} items restored "
                 f"({server.stats.snapshot_skipped} skipped)",
+                flush=True,
+            )
+        if server.durability is not None:
+            stats = server.durability.stats
+            print(
+                f"recovery: checkpoint seq {stats.recovered_checkpoint_seq} "
+                f"({stats.recovered_items} items) + "
+                f"{stats.replayed_records} journal records replayed "
+                f"({stats.torn_tail_records} torn, "
+                f"{stats.quarantined_files} quarantined)",
                 flush=True,
             )
         print(

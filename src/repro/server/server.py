@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from repro import __version__
 from repro.core.snapshot import LoadResult, load_snapshot, write_snapshot
+from repro.durability import DurabilityConfig, DurabilityManager
 from repro.faults.auditor import InvariantAuditor
 from repro.metrics import MetricsRegistry, log_buckets
 from repro.server import protocol
@@ -71,6 +72,20 @@ class ServerConfig:
     #: Unified observability: request-latency/payload histograms plus
     #: mounted cache/admission/server counters, exposed via ``stats``.
     metrics: bool = True
+    #: Crash-consistent durability: a directory for the write-ahead
+    #: journal + checkpoints (None = volatile, the default).  On start
+    #: the server recovers checkpoint + journal into the cache, then
+    #: journals every acknowledged mutation.
+    journal_dir: Optional[str] = None
+    #: ``always`` (zero acknowledged-write loss) / ``interval`` /
+    #: ``never`` — the power-loss bound; see repro.durability.journal.
+    fsync: str = "interval"
+    fsync_interval: float = 0.05
+    journal_segment_bytes: int = 1 << 20
+    #: Take an incremental checkpoint once this much journal accumulates.
+    checkpoint_bytes: int = 4 << 20
+    #: Background at-rest integrity scrub cadence (0 = off).
+    scrub_interval: float = 30.0
 
     def validate(self) -> None:
         if self.read_timeout <= 0 or self.write_timeout <= 0:
@@ -81,7 +96,20 @@ class ServerConfig:
             raise ValueError(f"unknown clock_mode {self.clock_mode!r}")
         if self.audit_interval < 0:
             raise ValueError("audit_interval must be >= 0")
+        if self.journal_dir is not None:
+            self.durability_config().validate()
         self.admission.validate()
+
+    def durability_config(self) -> DurabilityConfig:
+        assert self.journal_dir is not None
+        return DurabilityConfig(
+            directory=self.journal_dir,
+            fsync=self.fsync,
+            fsync_interval=self.fsync_interval,
+            segment_bytes=self.journal_segment_bytes,
+            checkpoint_bytes=self.checkpoint_bytes,
+            scrub_interval=self.scrub_interval,
+        )
 
 
 @dataclass
@@ -105,6 +133,8 @@ class ServerStats:
     snapshot_loaded: int = 0
     snapshot_skipped: int = 0
     snapshot_written: int = 0
+    #: 1 when the warm-start snapshot had a damaged tail (lossy restart).
+    snapshot_truncated: int = 0
 
 
 class CacheServer:
@@ -160,6 +190,10 @@ class CacheServer:
             if self.config.audit_interval
             else None
         )
+        #: Write-ahead journal + checkpoints; armed in start() when
+        #: ``config.journal_dir`` is set.
+        self.durability: Optional[DurabilityManager] = None
+        self._housekeeping: Optional[asyncio.Task] = None
         self._inflight = 0
         self._draining = False
         self._stopped = asyncio.Event()
@@ -179,13 +213,24 @@ class CacheServer:
         return self._port
 
     async def start(self) -> None:
-        """Warm-load the snapshot (if any), then bind and accept."""
+        """Recover durable state (if any), then bind and accept.
+
+        Ordering: snapshot warm-load first (a pre-durability warm base),
+        then journal recovery (newer, overwrites), then — and only then —
+        attach the journal so recovery itself is never re-journaled.
+        """
         if self.config.snapshot_path is not None:
             self._warm_restart(self.config.snapshot_path)
+        if self.config.journal_dir is not None:
+            self._recover_durable()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self.durability is not None:
+            self._housekeeping = asyncio.get_running_loop().create_task(
+                self._durability_housekeeping()
+            )
 
     def _warm_restart(self, path: str) -> None:
         try:
@@ -198,7 +243,37 @@ class CacheServer:
         self.stats.snapshot_loaded = result.loaded
         self.stats.snapshot_skipped = result.skipped
         if result.error:
+            self.stats.snapshot_truncated = 1
             self.incidents.append(f"snapshot tail skipped: {result.error}")
+
+    def _recover_durable(self) -> None:
+        self.durability = DurabilityManager(self.config.durability_config())
+        recovery = self.durability.recover_into(self.cache)
+        self.durability.attach_to(self.cache)
+        self.registry.mount("durability", self.durability.stats)
+        for incident in recovery.incidents:
+            self.incidents.append(f"recovery: {incident}")
+
+    async def _durability_housekeeping(self) -> None:
+        """Idle-period fsyncs plus the periodic at-rest integrity scrub."""
+        assert self.durability is not None
+        config = self.durability.config
+        interval = max(config.fsync_interval, 0.01)
+        next_scrub = (
+            time.monotonic() + config.scrub_interval
+            if config.scrub_interval > 0
+            else None
+        )
+        while not self._stopped.is_set():
+            await asyncio.sleep(interval)
+            writer = self.durability.writer
+            if writer is not None and not writer.closed:
+                writer.maybe_sync()
+            if next_scrub is not None and time.monotonic() >= next_scrub:
+                report = self.durability.scrub_once()
+                for failure in report.failures:
+                    self.incidents.append(f"scrub: {failure}")
+                next_scrub = time.monotonic() + config.scrub_interval
 
     async def run(self) -> int:
         """Serve until drained; returns the process exit code."""
@@ -232,6 +307,16 @@ class CacheServer:
                 )
             except Exception as exc:
                 self.incidents.append(f"snapshot write failed: {exc}")
+                self._exit_code = 1
+        if self.durability is not None:
+            if self._housekeeping is not None:
+                self._housekeeping.cancel()
+            try:
+                # Final checkpoint: the next start recovers from the image
+                # alone, with an empty journal to replay.
+                self.durability.close(self.cache)
+            except Exception as exc:
+                self.incidents.append(f"final checkpoint failed: {exc}")
                 self._exit_code = 1
         if self.stats.invariant_failures:
             self._exit_code = 1
@@ -348,6 +433,11 @@ class CacheServer:
             self._fault_hook(command)
         finally:
             self._inflight -= 1
+        if self.durability is not None and self.durability.should_checkpoint():
+            try:
+                self.durability.checkpoint(self.cache)
+            except Exception as exc:
+                self.incidents.append(f"checkpoint failed: {exc}")
         if reply and not command.noreply:
             await self._send(writer, reply)
         return True
@@ -467,6 +557,9 @@ class CacheServer:
                     "emergency_sweeps",
                 ):
                     out["integrity_" + name] = getattr(zstats, name)
+        if self.durability is not None:
+            for name, value in vars(self.durability.stats).items():
+                out["durability_" + name] = value
         fastpath = getattr(self.cache, "aggregate_fastpath", None)
         if fastpath is not None:
             for name, value in fastpath().items():

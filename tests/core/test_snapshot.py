@@ -155,6 +155,25 @@ class TestCrashSafeWrite:
         restored = SimpleKVCache(PlainZone(1 << 16))
         assert load_snapshot(restored, path) == 20
 
+    def test_snapshot_write_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        """The rename only survives a power cut if the parent dir is
+        fsynced; write_snapshot must go through atomic_write's full dance."""
+        import os
+
+        from repro.common import fsio
+
+        synced_dirs = []
+        real = fsio.fsync_directory
+        monkeypatch.setattr(
+            fsio,
+            "fsync_directory",
+            lambda path: (synced_dirs.append(os.fspath(path)), real(path))[1],
+        )
+        cache = SimpleKVCache(PlainZone(1 << 16))
+        cache.set(b"k", b"v")
+        write_snapshot(cache, tmp_path / "dir.snap")
+        assert str(tmp_path) in synced_dirs
+
     def test_kill_mid_write_never_truncates_final_path(self, tmp_path):
         """SIGKILL a writer process; the final path is absent or valid.
 

@@ -1,0 +1,180 @@
+"""Server + durability integration: recovery, stats, graceful close.
+
+An in-process "crash" here means abandoning the server without draining
+it — connections dropped, no final checkpoint, journal left as-is — which
+is exactly what the on-disk state looks like after a SIGKILL (the real
+SIGKILL discipline lives in tests/server/test_crash_harness.py).
+"""
+
+import asyncio
+
+from repro.core.config import ZExpanderConfig
+from repro.core.sharded import ShardedZExpander
+from repro.core.snapshot import write_snapshot
+from repro.core import SimpleKVCache
+from repro.durability.manager import list_checkpoints
+from repro.nzone import PlainZone
+from repro.server.server import CacheServer, ServerConfig
+
+
+def make_cache(capacity=256 * 1024, shards=2, seed=11):
+    return ShardedZExpander(
+        ZExpanderConfig(total_capacity=capacity, seed=seed), num_shards=shards
+    )
+
+
+async def send(writer, reader, payload, reply_lines=1):
+    writer.write(payload)
+    await writer.drain()
+    lines = []
+    for _ in range(reply_lines):
+        lines.append(await reader.readline())
+    return b"".join(lines)
+
+
+async def started_server(journal_dir, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("fsync", "always")
+    server = CacheServer(
+        make_cache(), ServerConfig(journal_dir=str(journal_dir), **config_kwargs)
+    )
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def drain(server, task):
+    server.begin_drain()
+    return await task
+
+
+class TestRecoveryAcrossAbandon:
+    def test_acked_writes_survive_an_undrained_stop(self, tmp_path):
+        async def first_life():
+            server, task = await started_server(tmp_path)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            for i in range(40):
+                key = b"k%03d" % i
+                assert (
+                    await send(
+                        writer, reader, b"set %s 0 0 5\r\nv-%03d\r\n" % (key, i)
+                    )
+                    == b"STORED\r\n"
+                )
+            for i in range(10):
+                assert (
+                    await send(writer, reader, b"delete k%03d\r\n" % i)
+                    == b"DELETED\r\n"
+                )
+            # Abandon: close the socket and cancel the serve task without
+            # any drain — no final checkpoint, no journal close.
+            writer.close()
+            task.cancel()
+
+        async def second_life():
+            server, task = await started_server(tmp_path)
+            assert server.durability.stats.replayed_records == 50
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            for i in range(10):
+                assert (
+                    await send(writer, reader, b"get k%03d\r\n" % i)
+                    == b"END\r\n"
+                )
+            for i in range(10, 40):
+                reply = await send(
+                    writer, reader, b"get k%03d\r\n" % i, reply_lines=3
+                )
+                assert reply == b"VALUE k%03d 0 5\r\nv-%03d\r\nEND\r\n" % (i, i)
+            writer.close()
+            assert await drain(server, task) == 0
+
+        asyncio.run(first_life())
+        asyncio.run(second_life())
+
+    def test_graceful_drain_leaves_checkpoint_only_recovery(self, tmp_path):
+        async def life():
+            server, task = await started_server(tmp_path)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            for i in range(25):
+                await send(writer, reader, b"set g%03d 0 0 2\r\nvv\r\n" % i)
+            writer.close()
+            assert await drain(server, task) == 0
+
+        async def after():
+            server, task = await started_server(tmp_path)
+            stats = server.durability.stats
+            # Everything came from the final checkpoint; the journal tail
+            # was empty.
+            assert stats.recovered_items == 25
+            assert stats.replayed_records == 0
+            assert await drain(server, task) == 0
+
+        asyncio.run(life())
+        assert len(list_checkpoints(str(tmp_path))) == 1
+        asyncio.run(after())
+
+
+class TestStatsSurface:
+    def test_wire_stats_carry_durability_counters(self, tmp_path):
+        async def scenario():
+            server, task = await started_server(tmp_path)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            await send(writer, reader, b"set s 0 0 1\r\nx\r\n")
+            stats = server.stats_dict()
+            assert stats["durability_journal_appends"] == 1
+            assert stats["durability_fsyncs"] >= 1
+            assert "durability_replayed_records" in stats
+            assert "durability_torn_tail_records" in stats
+            assert "durability_scrub_failures" in stats
+            # And through the metrics registry (cli stats --format prom).
+            exposition = server.prometheus_text(include_timing=False)
+            assert "durability_journal_appends 1" in exposition
+            writer.close()
+            assert await drain(server, task) == 0
+
+        asyncio.run(scenario())
+
+    def test_volatile_server_has_no_durability_keys(self):
+        async def scenario():
+            server = CacheServer(make_cache(), ServerConfig(port=0))
+            await server.start()
+            task = asyncio.create_task(server.run())
+            stats = server.stats_dict()
+            assert not any(k.startswith("durability_") for k in stats)
+            return await drain(server, task)
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_snapshot_truncation_surfaces_as_gauge(self, tmp_path):
+        cache = SimpleKVCache(PlainZone(1 << 16))
+        for i in range(30):
+            cache.set(b"key:%04d" % i, b"value-%04d" % i)
+        path = tmp_path / "warm.snap"
+        write_snapshot(cache, path)
+        path.write_bytes(path.read_bytes()[:-7])  # tear the last record
+
+        async def scenario():
+            server = CacheServer(
+                make_cache(),
+                ServerConfig(port=0, snapshot_path=str(path)),
+            )
+            await server.start()
+            task = asyncio.create_task(server.run())
+            stats = server.stats_dict()
+            assert stats["snapshot_loaded"] == 29
+            assert stats["snapshot_skipped"] == 1
+            assert stats["snapshot_truncated"] == 1
+            assert any("snapshot tail" in line for line in server.incidents)
+            exposition = server.prometheus_text(include_timing=False)
+            assert "server_snapshot_truncated 1" in exposition
+            return await drain(server, task)
+
+        assert asyncio.run(scenario()) == 0

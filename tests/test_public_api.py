@@ -30,6 +30,7 @@ class TestPublicApi:
         import repro.analysis
         import repro.compression
         import repro.core
+        import repro.durability
         import repro.faults
         import repro.memory
         import repro.nzone
@@ -43,6 +44,7 @@ class TestPublicApi:
             repro.analysis,
             repro.compression,
             repro.core,
+            repro.durability,
             repro.faults,
             repro.memory,
             repro.nzone,
@@ -75,6 +77,11 @@ class TestPublicApi:
         # Backward compat: corrupt-container callers catch ValueError.
         assert issubclass(repro.CodecError, ValueError)
         assert issubclass(repro.FaultPlanError, repro.ConfigurationError)
+
+    def test_durability_exception_hierarchy(self):
+        for exc in (repro.JournalError, repro.CheckpointError):
+            assert issubclass(exc, repro.DurabilityError), exc
+        assert issubclass(repro.DurabilityError, repro.CacheError)
 
     def test_serving_exception_hierarchy(self):
         """The serving layer's errors slot under the same base class."""
