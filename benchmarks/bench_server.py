@@ -182,6 +182,129 @@ async def bench_set_rtt_journal(ops: int, keys: int, seed: int):
     return records["off"], records["on"], ratio
 
 
+#: Acceptable extra SET-RTT slowdown for streaming to one live replica,
+#: relative to the journal alone (the stream rides the journal's append
+#: path, so the primary's ack must stay essentially free of it).
+REPLICATION_OVERHEAD_BUDGET = 1.15
+
+
+async def _replicated_samples(ops: int, keys: int, seed: int, journal_dir: str):
+    """SET RTT on a primary streaming to one live replica, then GET RTT
+    against that replica once it has fully converged.
+
+    The replica runs as a ``cli serve`` subprocess on loopback — its own
+    interpreter, exactly like a deployed pair — so the measurement is the
+    primary's true streaming overhead, not two servers time-slicing one
+    event loop.  Returns (set_samples_us, set_wall_s, get_samples_us,
+    get_wall_s).
+    """
+    from repro.server.replchaos import ReplChaosConfig, _replica_child
+
+    cache = ShardedZExpander(
+        ZExpanderConfig(total_capacity=8 * 1024 * 1024, seed=seed),
+        num_shards=2,
+    )
+    server = CacheServer(
+        cache,
+        ServerConfig(
+            port=0, journal_dir=journal_dir, fsync="interval", repl_port=0
+        ),
+    )
+    await server.start()
+    task = asyncio.create_task(server.run())
+    replica = _replica_child(
+        ReplChaosConfig(seed=seed), server.repl_source.port
+    )
+    await replica.start()
+
+    client = MemcacheClient(port=server.port, pool_size=1)
+    samples = []
+    started = time.perf_counter()
+    for i in range(ops):
+        key_id = i % keys
+        value = expected_value(seed, 0, key_id, 1)
+        t0 = time.perf_counter()
+        await client.set(key_name(0, key_id), value)
+        samples.append((time.perf_counter() - t0) * 1e6)
+    wall = time.perf_counter() - started
+    await client.close()
+
+    # Let the replica fully converge, then time reads against it.
+    reader = MemcacheClient(port=replica.port, pool_size=1)
+    deadline = time.perf_counter() + 30.0
+    while time.perf_counter() < deadline:
+        stats = await reader.stats()
+        if (
+            stats.get("replication_connected") == "1"
+            and stats.get("replication_lag_bytes") == "0"
+        ):
+            break
+        await asyncio.sleep(0.02)
+    get_samples = []
+    get_started = time.perf_counter()
+    for i in range(ops):
+        t0 = time.perf_counter()
+        await reader.get(key_name(0, i % keys))
+        get_samples.append((time.perf_counter() - t0) * 1e6)
+    get_wall = time.perf_counter() - get_started
+    await reader.close()
+
+    await replica.drain()
+    server.begin_drain()
+    await task
+    return samples, wall, get_samples, get_wall
+
+
+async def bench_set_rtt_replicated(ops: int, keys: int, seed: int):
+    """SET RTT: journal alone vs journal + one live streaming replica.
+
+    Interleaved best-of-3 (same discipline as bench_set_rtt_journal) so
+    both configurations see the same machine weather.  Returns
+    (journal_record, replicated_record, replica_get_record, ratio) where
+    ratio compares best-pass p50s — main() gates it against
+    REPLICATION_OVERHEAD_BUDGET.  Also times converged-replica GET RTT,
+    the replicated-read path a failover client actually uses.
+    """
+    import tempfile
+
+    best: dict = {"off": None, "on": None}
+    best_get = None
+    for _round in range(3):
+        for mode in ("off", "on"):
+            with tempfile.TemporaryDirectory(prefix="zx-bench-repl-") as d:
+                if mode == "off":
+                    samples, wall = await _set_rtt_samples(ops, keys, seed, d)
+                    get_samples = None
+                else:
+                    samples, wall, get_samples, get_wall = (
+                        await _replicated_samples(ops, keys, seed, d)
+                    )
+            p50 = percentile(samples, 50)
+            if best[mode] is None or p50 < best[mode][0]:
+                best[mode] = (p50, samples, wall)
+            if get_samples:
+                get_p50 = percentile(get_samples, 50)
+                if best_get is None or get_p50 < best_get[0]:
+                    best_get = (get_p50, get_samples, get_wall)
+    records = {}
+    for mode, replicas in (("off", 0), ("on", 1)):
+        _p50, samples, wall = best[mode]
+        records[mode] = _record(
+            f"server_set_rtt_repl_{mode}",
+            {"ops": ops, "keys": keys, "seed": seed, "rounds": 3,
+             "fsync": "interval", "replicas": replicas},
+            samples, wall, ops,
+        )
+    _get_p50, get_samples, get_wall = best_get
+    get_record = _record(
+        "server_replica_get_rtt",
+        {"ops": ops, "keys": keys, "seed": seed, "rounds": 3, "replicas": 1},
+        get_samples, get_wall, ops,
+    )
+    ratio = best["on"][0] / best["off"][0] if best["off"][0] > 0 else 1.0
+    return records["off"], records["on"], get_record, ratio
+
+
 async def bench_pooled_throughput(
     ops: int, keys: int, seed: int, workers: int = 8
 ) -> BenchRecord:
@@ -274,22 +397,43 @@ def main(argv=None) -> int:
             f"{on.bench}: p50={on.p50_us:.0f}us vs {off.p50_us:.0f}us off "
             f"— overhead {ratio:.3f}x (budget {JOURNAL_OVERHEAD_BUDGET}x)"
         )
-        return records, ratio
+        repl_off, repl_on, replica_get, repl_ratio = (
+            await bench_set_rtt_replicated(scale["ops"], scale["keys"], args.seed)
+        )
+        records.extend([repl_off, repl_on, replica_get])
+        print(
+            f"{repl_on.bench}: p50={repl_on.p50_us:.0f}us vs "
+            f"{repl_off.p50_us:.0f}us journal-only — overhead "
+            f"{repl_ratio:.3f}x (budget {REPLICATION_OVERHEAD_BUDGET}x)"
+        )
+        print(
+            f"{replica_get.bench}: {replica_get.ops_per_sec:,.0f} ops/s "
+            f"p50={replica_get.p50_us:.0f}us p99={replica_get.p99_us:.0f}us"
+        )
+        return records, ratio, repl_ratio
 
-    records, ratio = asyncio.run(run_all())
+    records, ratio, repl_ratio = asyncio.run(run_all())
     merged = append_records(records, Path(args.out))
     print(
         f"wrote {len(records)} records to {args.out} "
         f"({len(merged)} total after merge)"
     )
+    failed = False
     if ratio > JOURNAL_OVERHEAD_BUDGET:
         print(
             f"FAIL: journal-on SET RTT {ratio:.3f}x exceeds the "
             f"{JOURNAL_OVERHEAD_BUDGET}x budget",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if repl_ratio > REPLICATION_OVERHEAD_BUDGET:
+        print(
+            f"FAIL: replicated SET RTT {repl_ratio:.3f}x exceeds the "
+            f"{REPLICATION_OVERHEAD_BUDGET}x budget over journal-only",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

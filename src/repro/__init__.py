@@ -34,6 +34,9 @@ from repro.common.errors import (
     ItemTooLargeError,
     JournalError,
     ProtocolError,
+    ReadOnlyReplicaError,
+    ReplicaLaggingError,
+    ReplicationError,
     RequestTimeoutError,
     ServerOverloadedError,
     ServingError,
@@ -122,6 +125,9 @@ __all__ = [
     "ProtocolError",
     "RecoveryResult",
     "Request",
+    "ReadOnlyReplicaError",
+    "ReplicaLaggingError",
+    "ReplicationError",
     "RequestTimeoutError",
     "ServerOverloadedError",
     "ServingError",

@@ -101,6 +101,29 @@ class ProtocolError(ServingError):
     """The peer sent bytes that do not parse as memcached text protocol."""
 
 
+class ReplicaLaggingError(ServingError):
+    """A replica refused a read because its lag exceeds the advertised bound
+    (``SERVER_ERROR lagging``).
+
+    Clients with more than one endpoint should fail over to another
+    replica or to the primary; serving the read here could violate the
+    staleness bound the deployment promised.
+    """
+
+
+class ReadOnlyReplicaError(ServingError):
+    """A write was sent to a read-replica (``SERVER_ERROR read-only replica``).
+
+    Replicas apply mutations only from the primary's journal stream;
+    clients must direct writes at the primary (or promote the replica
+    first).
+    """
+
+
+class ReplicationError(ServingError):
+    """The replication stream is malformed (framing, CRC, or handshake)."""
+
+
 class DurabilityError(CacheError):
     """Base class for errors raised by the durability layer.
 

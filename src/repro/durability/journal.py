@@ -96,11 +96,16 @@ def list_segments(directory: str) -> List[Tuple[int, str]]:
 # -- record codec ---------------------------------------------------------------
 
 
-def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
-    """One framed journal record, CRC included."""
+def encode_payload(op: int, key: bytes, value: bytes = b"") -> bytes:
+    """The unframed record payload (shared with the replication stream)."""
     if op not in (OP_SET, OP_DELETE):
         raise ValueError(f"unknown journal op {op:#x}")
-    payload = _PAYLOAD_HEAD.pack(op, len(key)) + key + value
+    return _PAYLOAD_HEAD.pack(op, len(key)) + key + value
+
+
+def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+    """One framed journal record, CRC included."""
+    payload = encode_payload(op, key, value)
     return (
         _FRAME_LEN.pack(len(payload))
         + payload
@@ -290,6 +295,11 @@ class JournalWriter:
         self._segment_written = 0
         self._unsynced = 0
         self._last_sync = monotonic()
+        #: Called as ``listener(seq, end_offset, payload)`` after each
+        #: append is flushed — the replication source's live-tail hook.
+        self._append_listeners: List[
+            Callable[[int, int, bytes], None]
+        ] = []
         self._open_next_segment()
 
     # -- plumbing --------------------------------------------------------------
@@ -298,6 +308,24 @@ class JournalWriter:
     def current_seq(self) -> int:
         """Sequence number of the active segment."""
         return self._seq
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """(segment seq, byte offset) just past the last flushed record."""
+        return self._seq, self._segment_written
+
+    def add_append_listener(
+        self, listener: Callable[[int, int, bytes], None]
+    ) -> None:
+        self._append_listeners.append(listener)
+
+    def remove_append_listener(
+        self, listener: Callable[[int, int, bytes], None]
+    ) -> None:
+        try:
+            self._append_listeners.remove(listener)
+        except ValueError:
+            pass
 
     @property
     def current_path(self) -> str:
@@ -333,14 +361,19 @@ class JournalWriter:
     # -- appends ---------------------------------------------------------------
 
     def append_set(self, key: bytes, value: bytes) -> None:
-        self._append(encode_record(OP_SET, key, value))
+        self._append(encode_payload(OP_SET, key, value))
 
     def append_delete(self, key: bytes) -> None:
-        self._append(encode_record(OP_DELETE, key))
+        self._append(encode_payload(OP_DELETE, key))
 
-    def _append(self, record: bytes) -> None:
+    def _append(self, payload: bytes) -> None:
         if self._stream is None:
             raise JournalError("journal writer is closed")
+        record = (
+            _FRAME_LEN.pack(len(payload))
+            + payload
+            + _FRAME_LEN.pack(zlib.crc32(payload))
+        )
         if self._segment_written + len(record) > self.config.segment_bytes:
             self._open_next_segment()
         stream = self._stream
@@ -366,6 +399,8 @@ class JournalWriter:
                 self.stats.fsyncs += 1
                 self._unsynced = 0
                 self._last_sync = now
+        for listener in self._append_listeners:
+            listener(self._seq, self._segment_written, payload)
 
     def maybe_sync(self) -> bool:
         """Interval-policy housekeeping for idle periods; True if fsynced."""

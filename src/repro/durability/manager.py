@@ -48,6 +48,7 @@ from repro.durability.journal import (
     SegmentScan,
     list_segments,
     read_segment,
+    segment_name,
 )
 
 CHECKPOINT_PREFIX = "checkpoint-"
@@ -144,6 +145,11 @@ class RecoveryResult:
     quarantined: List[str] = field(default_factory=list)
     #: Human-readable damage descriptions, in the order encountered.
     incidents: List[str] = field(default_factory=list)
+    #: Set when the directory is missing a whole segment of history (a
+    #: hole no quarantine pass could have produced — external tampering
+    #: or a partial restore).  Serving over it could resurrect deletes
+    #: and hide acknowledged writes, so callers must refuse to serve.
+    history_gap: Optional[str] = None
 
     @property
     def clean(self) -> bool:
@@ -205,6 +211,16 @@ class DurabilityManager:
         """Rebuild ``cache`` from checkpoint + journal, then open the writer."""
         result = replay_journal(self.config.directory, cache, stats=self.stats)
         self.last_recovery = result
+        # The new segment must sort after everything already covered: a
+        # surviving checkpoint at seq S with no segments left (all
+        # quarantined) must not see a fresh writer open journal-00000001
+        # below it — records there would be invisible to recovery.
+        top = 0
+        segments = list_segments(self.config.directory)
+        if segments:
+            top = segments[-1][0]
+        for seq, _path in list_checkpoints(self.config.directory):
+            top = max(top, seq)
         self.writer = JournalWriter(
             JournalConfig(
                 directory=self.config.directory,
@@ -213,6 +229,7 @@ class DurabilityManager:
                 fsync_interval=self.config.fsync_interval,
             ),
             stats=self.stats,
+            start_seq=top + 1 if top else None,
         )
         self._bytes_at_checkpoint = self.stats.journal_bytes
         return result
@@ -368,10 +385,35 @@ def replay_journal(
             )
         break
 
-    # 2. Replay segments >= base_seq, oldest first.
+    # 2. Replay segments >= base_seq, oldest first.  A *hole* in that
+    # range (a missing seq the writer must have created, or a first
+    # segment newer than the checkpoint expects) cannot come from our own
+    # quarantine passes — those always cut history at a point, never out
+    # of the middle.  Flag it and stop before the hole: replaying past
+    # one could resurrect deleted keys and silently drop acked writes.
     segments = [
         (seq, path) for seq, path in list_segments(directory) if seq >= base_seq
     ]
+    if segments:
+        expected = base_seq if base_seq else segments[0][0]
+        for seq, path in segments:
+            if base_seq and seq > expected and expected == base_seq:
+                result.history_gap = (
+                    f"journal hole: checkpoint {checkpoint_name(base_seq)} "
+                    f"expects replay to start at segment {base_seq}, but the "
+                    f"oldest present is {os.path.basename(path)}"
+                )
+                break
+            if seq > expected:
+                result.history_gap = (
+                    f"journal hole: segment {segment_name(expected)} is "
+                    f"missing but {os.path.basename(path)} exists"
+                )
+                break
+            expected = seq + 1
+        if result.history_gap is not None:
+            result.incidents.append(result.history_gap)
+            segments = [(seq, path) for seq, path in segments if seq < expected]
     damaged_at: Optional[int] = None
     for index, (seq, path) in enumerate(segments):
         if damaged_at is not None:

@@ -8,8 +8,12 @@ Usage::
     python -m repro.experiments.cli chaos --seed 7
     python -m repro.experiments.cli chaos --server --seed 7
     python -m repro.experiments.cli chaos --crash --fsync always --seed 7
+    python -m repro.experiments.cli chaos --replication --seed 7
     python -m repro.experiments.cli serve --port 11311 --snapshot cache.snap
     python -m repro.experiments.cli serve --port 11311 --journal-dir ./wal
+    python -m repro.experiments.cli serve --port 11311 --journal-dir ./wal --repl-port 11411
+    python -m repro.experiments.cli serve --port 11312 --role replica --primary-port 11411
+    python -m repro.experiments.cli promote --port 11312 --catch-up ./wal
     python -m repro.experiments.cli loadgen --port 11311 --requests 4000
 
 Each experiment prints the same rows/series the paper reports; scale
@@ -21,9 +25,16 @@ runs the same discipline over a real TCP serving path (wire faults,
 drain, snapshot, warm restart, overload shedding); ``chaos --crash``
 SIGKILLs a journalled server child at seeded points and verifies that
 recovery never returns wrong bytes and never loses acknowledged writes
-under ``--fsync always``.  ``serve`` runs the memcached-protocol server
-(SIGTERM drains gracefully; ``--journal-dir`` arms crash-consistent
-durability); ``loadgen`` drives one with seeded, self-verifying traffic.
+under ``--fsync always``; ``chaos --replication`` runs a primary/replica
+pair under load while partitioning/stalling/resetting the replication
+link, forcing snapshot resyncs, killing the primary, and promoting the
+replica — judging wrong bytes, stale reads beyond the advertised lag
+bound, and acked-write loss after promotion as fatal.  ``serve`` runs
+the memcached-protocol server (SIGTERM drains gracefully;
+``--journal-dir`` arms crash-consistent durability; ``--repl-port``
+streams the journal to replicas; ``--role replica`` follows a primary);
+``promote`` flips a running replica to primary; ``loadgen`` drives a
+server with seeded, self-verifying traffic.
 """
 
 from __future__ import annotations
@@ -157,7 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync",
         choices=("always", "interval", "never"),
         default="always",
-        help="journal fsync policy under test (--crash mode only)",
+        help="journal fsync policy under test (--crash/--replication modes)",
+    )
+    chaos_parser.add_argument(
+        "--replication",
+        action="store_true",
+        help="primary/replica campaign: partition/stall/reset the "
+        "replication link, force snapshot resyncs, kill the primary and "
+        "promote the replica, judging staleness and durability",
+    )
+    chaos_parser.add_argument(
+        "--link-points",
+        type=int,
+        default=10,
+        help="seeded link-chaos rounds before the kill/promote rounds "
+        "(--replication mode only)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -230,6 +255,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds between at-rest integrity scrub passes",
     )
+    serve_parser.add_argument(
+        "--role",
+        choices=("primary", "replica"),
+        default="primary",
+        help="replica: apply a primary's journal stream and serve reads "
+        "only (writes get SERVER_ERROR read-only replica)",
+    )
+    serve_parser.add_argument(
+        "--repl-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="listen for replicas here and stream the journal to them "
+        "(requires --journal-dir)",
+    )
+    serve_parser.add_argument(
+        "--primary-host",
+        default="127.0.0.1",
+        help="the primary's host (--role replica)",
+    )
+    serve_parser.add_argument(
+        "--primary-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="the primary's --repl-port to follow (required with "
+        "--role replica)",
+    )
+    serve_parser.add_argument(
+        "--max-lag-bytes",
+        type=int,
+        default=1 << 20,
+        help="replica lag above this sheds Z-zone-bound GETs first",
+    )
+    serve_parser.add_argument(
+        "--hard-lag-bytes",
+        type=int,
+        default=0,
+        help="replica lag above this sheds every GET "
+        "(0 = 4x --max-lag-bytes)",
+    )
+    serve_parser.add_argument(
+        "--repl-silence-timeout",
+        type=float,
+        default=5.0,
+        help="seconds of a silent (half-open) replication link before a "
+        "replica cuts it and re-dials",
+    )
+    serve_parser.add_argument(
+        "--stale-grace",
+        type=float,
+        default=1.0,
+        help="seconds without primary contact before a replica sheds "
+        "every GET",
+    )
+
+    promote_parser = subparsers.add_parser(
+        "promote",
+        help="promote a running replica to primary (consensus-free "
+        "operator hook)",
+    )
+    promote_parser.add_argument("--host", default="127.0.0.1")
+    promote_parser.add_argument("--port", type=int, default=11311)
+    promote_parser.add_argument(
+        "--catch-up",
+        default="",
+        metavar="DIR",
+        help="dead primary's journal dir: replay it from the replica's "
+        "applied position before taking writes (zero acked loss under "
+        "fsync=always)",
+    )
+    promote_parser.add_argument("--deadline", type=float, default=30.0)
 
     stats_parser = subparsers.add_parser(
         "stats", help="fetch and render a running server's metrics"
@@ -309,6 +406,24 @@ def _load_plan(path):
 def run_chaos_command(args) -> int:
     from repro.faults.chaos import run_chaos
 
+    if args.replication:
+        from repro.server.replchaos import run_replication_chaos
+
+        # Same budget discipline as --crash: --requests is campaign-wide,
+        # spread over every round (link points + kill + promote).
+        rounds = max(1, args.link_points) + 2
+        per_conn = max(1, args.requests // (args.connections * rounds))
+        report = run_replication_chaos(
+            seed=args.seed,
+            link_points=args.link_points,
+            connections=args.connections,
+            requests_per_conn=per_conn,
+            keys_per_conn=max(1, args.keys // args.connections),
+            fsync=args.fsync,
+        )
+        print(report.render())
+        print(report.render_metrics(), file=sys.stderr)
+        return 0 if report.ok else 1
     if args.crash:
         from repro.server.crash import run_crash_chaos
 
@@ -365,6 +480,7 @@ def run_serve_command(args) -> int:
     import asyncio
     import signal
 
+    from repro.common.errors import ConfigurationError, JournalError
     from repro.core.config import ZExpanderConfig
     from repro.core.sharded import ShardedZExpander
     from repro.server import CacheServer, ServerConfig
@@ -390,11 +506,31 @@ def run_serve_command(args) -> int:
         journal_segment_bytes=args.journal_segment_bytes,
         checkpoint_bytes=args.checkpoint_bytes,
         scrub_interval=args.scrub_interval,
+        role=args.role,
+        repl_port=args.repl_port,
+        repl_host=args.host,
+        primary_host=args.primary_host,
+        primary_port=args.primary_port,
+        max_lag_bytes=args.max_lag_bytes,
+        hard_lag_bytes=args.hard_lag_bytes,
+        stale_grace=args.stale_grace,
+        repl_silence_timeout=args.repl_silence_timeout,
     )
 
     async def serve() -> int:
-        server = CacheServer(cache, config)
-        await server.start()
+        try:
+            server = CacheServer(cache, config)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            await server.start()
+        except JournalError as exc:
+            # A journal-dir hole (or other unrecoverable damage shape):
+            # serving would silently expose a truncated history, so
+            # refuse loudly instead.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, server.begin_drain)
@@ -412,6 +548,18 @@ def run_serve_command(args) -> int:
                 f"{stats.replayed_records} journal records replayed "
                 f"({stats.torn_tail_records} torn, "
                 f"{stats.quarantined_files} quarantined)",
+                flush=True,
+            )
+        if server.repl_source is not None:
+            print(
+                f"replication: streaming journal to replicas on "
+                f"{config.repl_host}:{server.repl_source.port}",
+                flush=True,
+            )
+        if config.role == "replica":
+            print(
+                f"replica: following {config.primary_host}:"
+                f"{config.primary_port} (max lag {config.max_lag_bytes} B)",
                 flush=True,
             )
         print(
@@ -490,6 +638,35 @@ def run_stats_command(args) -> int:
     return 0
 
 
+def run_promote_command(args) -> int:
+    import asyncio
+
+    from repro.common.errors import ServingError
+    from repro.server.client import MemcacheClient
+
+    async def promote():
+        client = MemcacheClient(
+            host=args.host, port=args.port, pool_size=1, deadline=args.deadline
+        )
+        try:
+            await client.promote(args.catch_up)
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(promote())
+    except ConnectionRefusedError:
+        print(
+            f"error: no server at {args.host}:{args.port}", file=sys.stderr
+        )
+        return 2
+    except ServingError as exc:
+        print(f"error: promote refused: {exc}", file=sys.stderr)
+        return 1
+    print(f"promoted: {args.host}:{args.port} is now primary", flush=True)
+    return 0
+
+
 def run_loadgen_command(args) -> int:
     import asyncio
 
@@ -530,6 +707,8 @@ def main(argv=None) -> int:
         return run_loadgen_command(args)
     if args.command == "stats":
         return run_stats_command(args)
+    if args.command == "promote":
+        return run_promote_command(args)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_module, description) in EXPERIMENTS.items():

@@ -1,0 +1,353 @@
+"""The replica's side of the stream: apply, track lag, survive, promote.
+
+A :class:`ReplicationClient` owns one upstream connection.  It applies
+records through the same ``cache.set``/``cache.delete`` calls recovery
+uses (so a replica with its own ``--journal-dir`` journals everything it
+applies and is durable in its own right), tracks its lag from the
+primary's heartbeats, and reconnects with jittered backoff when the link
+dies.  A snapshot resync replaces the replica's contents wholesale:
+keys absent from the image (deleted on the primary while we were
+partitioned) are removed, so a resync can never resurrect a delete.
+
+Lag and staleness are advertised, not guessed: ``pressure_level`` is
+
+* ``2`` (shed **all** client GETs) when the link is down or silent past
+  ``stale_grace`` seconds, or lag exceeds ``hard_lag_bytes``;
+* ``1`` (shed Z-zone-bound GETs first, the cheap-to-refill half) when
+  lag exceeds ``max_lag_bytes``;
+* ``0`` otherwise.
+
+Promotion (:func:`catch_up_from_directory` + the server's ``promote``
+command) is deliberately consensus-free: an operator or harness decides,
+the replica optionally replays the dead primary's on-disk journal from
+its applied position (fsync=always there means every acknowledged write
+is present), flips to the primary role, and starts taking writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Optional, Tuple
+
+from repro.common.errors import CacheError, ReplicationError
+from repro.core.snapshot import _iter_cache_items, read_snapshot
+from repro.durability.journal import OP_SET, decode_payload
+from repro.durability.manager import replay_journal
+from repro.replication import wire
+from repro.replication.stats import ReplicationStats
+from repro.replication.tailer import JournalTailer, SegmentPrunedError
+
+#: Send an ACK at least every this many applied records.
+ACK_EVERY_RECORDS = 64
+
+
+class ReplicationClient:
+    """Follow one primary; apply its journal stream into ``cache``."""
+
+    def __init__(
+        self,
+        cache,
+        host: str,
+        port: int,
+        stats: Optional[ReplicationStats] = None,
+        *,
+        max_lag_bytes: int = 1 << 20,
+        hard_lag_bytes: int = 0,
+        stale_grace: float = 1.0,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 2.0,
+        silence_timeout: float = 5.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self.stats = stats if stats is not None else ReplicationStats()
+        self.max_lag_bytes = max_lag_bytes
+        self.hard_lag_bytes = (
+            hard_lag_bytes if hard_lag_bytes > 0 else max_lag_bytes * 4
+        )
+        self.stale_grace = stale_grace
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        #: A half-open link (primary SIGKILLed behind a middlebox that
+        #: never propagates the close) delivers no bytes and no error; a
+        #: blocking read would follow it forever.  After this long with
+        #: nothing received the session is aborted so ``_run`` re-dials.
+        self.silence_timeout = silence_timeout
+        self.rng = rng if rng is not None else random.Random()
+        #: Journal position of the last applied record on the primary.
+        self.position: Tuple[int, int] = (0, 0)
+        self.connected = False
+        self.last_contact: Optional[float] = None
+        self._conn_applied = 0
+        self._heartbeat: Optional[Tuple[int, int, int, int]] = None
+        self._task: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        self._stopped = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self.connected = False
+
+    # -- lag / pressure --------------------------------------------------------
+
+    def lag_bytes(self) -> int:
+        """Approximate bytes of primary history not yet applied here."""
+        if self._heartbeat is None:
+            return 0
+        sent_bytes, backlog, _seg, _off = self._heartbeat
+        return max(0, sent_bytes - self._conn_applied) + backlog
+
+    def pressure_level(self, now: Optional[float] = None) -> int:
+        if now is None:
+            now = time.monotonic()
+        if (
+            not self.connected
+            or self.last_contact is None
+            or now - self.last_contact > self.stale_grace
+        ):
+            return 2
+        lag = self.lag_bytes()
+        if lag > self.hard_lag_bytes:
+            return 2
+        if lag > self.max_lag_bytes:
+            return 1
+        return 0
+
+    # -- the stream ------------------------------------------------------------
+
+    async def _run(self) -> None:
+        attempt = 0
+        while not self._stopped:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            except (ConnectionError, OSError):
+                attempt += 1
+                await asyncio.sleep(self._backoff(attempt))
+                continue
+            attempt = 0
+            self.stats.source_connects += 1
+            try:
+                await self._session(reader, writer)
+            except (
+                ReplicationError,
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+            ):
+                pass
+            finally:
+                self.connected = False
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            # A beat between sessions so a refusing/eof-ing primary is not
+            # hammered in a tight loop.
+            await asyncio.sleep(self._backoff(1))
+
+    def _backoff(self, attempt: int) -> float:
+        ceiling = min(
+            self.reconnect_cap, self.reconnect_base * (2 ** (attempt - 1))
+        )
+        return self.rng.uniform(0, ceiling) if ceiling > 0 else 0.0
+
+    async def _session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(
+            wire.encode_frame(wire.HELLO, wire.encode_position(*self.position))
+        )
+        await writer.drain()
+        self._conn_applied = 0
+        self._heartbeat = None
+        snapshot_buffer: Optional[bytearray] = None
+        snapshot_position: Tuple[int, int] = (0, 0)
+        unacked = 0
+        watchdog = asyncio.create_task(self._watchdog(writer))
+        try:
+            await self._stream(reader, writer, snapshot_buffer,
+                               snapshot_position, unacked)
+        finally:
+            watchdog.cancel()
+            try:
+                await watchdog
+            except asyncio.CancelledError:
+                pass
+
+    async def _watchdog(self, writer: asyncio.StreamWriter) -> None:
+        """Abort the session if the primary goes silent for too long."""
+        started = time.monotonic()
+        interval = max(0.05, self.silence_timeout / 4)
+        while True:
+            await asyncio.sleep(interval)
+            last = started
+            if self.last_contact is not None:
+                last = max(last, self.last_contact)
+            if time.monotonic() - last > self.silence_timeout:
+                self.stats.silent_link_drops += 1
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                return
+
+    async def _stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        snapshot_buffer: Optional[bytearray],
+        snapshot_position: Tuple[int, int],
+        unacked: int,
+    ) -> None:
+        while not self._stopped:
+            frame = await wire.read_frame(reader)
+            if frame is None:
+                return
+            # ``connected`` flips only on bytes *received* from the
+            # primary: a TCP accept (or a blackholed middlebox) proves
+            # nothing, and advertising health on it would let a freshly
+            # partitioned replica serve a stale read during the one-RTT
+            # window before the link dies again.
+            self.connected = True
+            self.last_contact = time.monotonic()
+            frame_type, body = frame
+            if frame_type == wire.RECORD:
+                segment, end_offset, payload = wire.decode_record_body(body)
+                self._apply_payload(payload)
+                self.position = (segment, end_offset)
+                self._conn_applied += len(payload)
+                self.stats.records_applied += 1
+                self.stats.bytes_applied += len(payload)
+                unacked += 1
+                if unacked >= ACK_EVERY_RECORDS:
+                    self._send_ack(writer)
+                    unacked = 0
+            elif frame_type == wire.HEARTBEAT:
+                self._heartbeat = wire.decode_heartbeat(body)
+                self.stats.heartbeats_received += 1
+                self._send_ack(writer)
+                unacked = 0
+                await writer.drain()
+            elif frame_type == wire.SNAP_BEGIN:
+                snapshot_buffer = bytearray()
+                snapshot_position = wire.decode_position(body)
+            elif frame_type == wire.SNAP_CHUNK:
+                if snapshot_buffer is None:
+                    raise ReplicationError("snapshot chunk outside a snapshot")
+                snapshot_buffer += body
+            elif frame_type == wire.SNAP_END:
+                if snapshot_buffer is None:
+                    raise ReplicationError("snapshot end outside a snapshot")
+                wire.decode_snap_end(body)
+                self._apply_snapshot(bytes(snapshot_buffer))
+                snapshot_buffer = None
+                self.position = snapshot_position
+                self._conn_applied = 0
+                self._heartbeat = None
+                self.stats.snapshots_applied += 1
+                self._send_ack(writer)
+                unacked = 0
+                await writer.drain()
+
+    def _send_ack(self, writer: asyncio.StreamWriter) -> None:
+        writer.write(wire.encode_ack(self._conn_applied, *self.position))
+        self.stats.acks_sent += 1
+
+    def _apply_payload(self, payload: bytes) -> None:
+        op, key, value = decode_payload(payload)
+        try:
+            if op == OP_SET:
+                self.cache.set(key, value)
+            else:
+                self.cache.delete(key)
+        except CacheError:
+            self.stats.apply_errors += 1
+
+    def _apply_snapshot(self, image: bytes) -> None:
+        """Replace our contents with the image: load it, drop the rest."""
+        import io
+
+        loaded_keys = set()
+        for key, value in read_snapshot(io.BytesIO(image), strict=True):
+            try:
+                self.cache.set(key, value)
+            except CacheError:
+                self.stats.apply_errors += 1
+                continue
+            loaded_keys.add(key)
+        stale = [
+            key
+            for key, _value in list(_iter_cache_items(self.cache))
+            if key not in loaded_keys
+        ]
+        for key in stale:
+            try:
+                self.cache.delete(key)
+            except CacheError:
+                self.stats.apply_errors += 1
+
+
+# -- promotion catch-up ----------------------------------------------------------
+
+
+def catch_up_from_directory(
+    cache, directory: str, position: Tuple[int, int]
+) -> Tuple[int, str]:
+    """Apply the dead primary's on-disk journal from ``position``.
+
+    Returns ``(records_applied, mode)`` where mode is ``"tail"`` (replayed
+    forward from the replica's applied position — the cheap, warm path)
+    or ``"full"`` (the position was unusable, so the replica's contents
+    were cleared and the directory recovered from scratch, exactly as the
+    primary itself would have).  Either way the promoted cache ends at
+    the dead primary's final acknowledged state.
+    """
+    segment, offset = position
+    if segment > 0:
+        tailer = JournalTailer(directory, segment, offset)
+        try:
+            total = 0
+            while True:
+                batch = tailer.read_batch(1024)
+                if not batch:
+                    return total, "tail"
+                for op, key, value, _payload, _seg, _end in batch:
+                    try:
+                        if op == OP_SET:
+                            cache.set(key, value)
+                        else:
+                            cache.delete(key)
+                    except CacheError:
+                        pass
+                    total += 1
+        except SegmentPrunedError:
+            pass
+        finally:
+            tailer.close()
+    # Full recovery: drop everything we have (our history may predate the
+    # newest checkpoint, and loading an image over live contents could
+    # resurrect keys the primary deleted), then replay the directory.
+    for key in [key for key, _value in list(_iter_cache_items(cache))]:
+        try:
+            cache.delete(key)
+        except CacheError:
+            pass
+    result = replay_journal(directory, cache)
+    return result.checkpoint_loaded + result.replayed_records, "full"

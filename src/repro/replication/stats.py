@@ -1,0 +1,48 @@
+"""Counters for both ends of the replication stream.
+
+One dataclass serves primary and replica roles (a promoted replica keeps
+its history, and a primary that also feeds a downstream tier uses both
+halves).  Mounted into the metrics registry as ``replication`` and
+surfaced over the memcached ``stats`` wire as ``replication_*`` keys —
+always present, zero-valued when replication is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReplicationStats:
+    # -- primary side (sending) ------------------------------------------------
+    records_sent: int = 0
+    bytes_sent: int = 0
+    snapshots_sent: int = 0
+    heartbeats_sent: int = 0
+    acks_received: int = 0
+    replica_connects: int = 0
+    #: A replica's socket would not drain within the write timeout; the
+    #: connection was cut rather than buffering unboundedly.
+    slow_replica_drops: int = 0
+    #: The bounded in-memory live queue overflowed; the sender fell back
+    #: to tailing the on-disk journal (and, if pruning passes the
+    #: replica's position, to a checkpoint-image resync).
+    live_queue_overflows: int = 0
+    # -- replica side (applying) -----------------------------------------------
+    records_applied: int = 0
+    bytes_applied: int = 0
+    snapshots_applied: int = 0
+    heartbeats_received: int = 0
+    acks_sent: int = 0
+    source_connects: int = 0
+    #: Records the cache refused (capacity, oversized item); counted, not
+    #: fatal — the replica serves what fits, like any cache.
+    apply_errors: int = 0
+    #: The primary went silent past the silence timeout on an otherwise
+    #: open connection (half-open link); the replica cut it to re-dial.
+    silent_link_drops: int = 0
+    # -- serving-policy outcomes -----------------------------------------------
+    lagging_rejects: int = 0
+    read_only_rejects: int = 0
+    promotions: int = 0
+    catch_up_records: int = 0

@@ -21,7 +21,11 @@ from repro.server.chaos import (
     default_server_plan,
     run_server_chaos,
 )
-from repro.server.client import MemcacheClient, RetryPolicy
+from repro.server.client import (
+    FailoverMemcacheClient,
+    MemcacheClient,
+    RetryPolicy,
+)
 from repro.server.loadgen import LoadConfig, LoadReport, run_loadgen
 from repro.server.protocol import (
     DEFAULT_MAX_VALUE_BYTES,
@@ -41,6 +45,7 @@ __all__ = [
     "CacheServer",
     "Command",
     "DEFAULT_MAX_VALUE_BYTES",
+    "FailoverMemcacheClient",
     "LoadConfig",
     "LoadReport",
     "MAX_KEY_BYTES",

@@ -111,6 +111,9 @@ class AdmissionStats:
     shed_saturated: int = 0
     #: Everything dropped while BRICK_WALL.
     shed_brick_wall: int = 0
+    #: Reads refused on a replica because replication lag exceeded its
+    #: advertised bound (external pressure, not local saturation).
+    shed_lagging: int = 0
     entered_shedding: int = 0
     entered_brick_wall: int = 0
     recovered_healthy: int = 0
@@ -125,6 +128,7 @@ class AdmissionStats:
             "shed_zzone": self.shed_zzone,
             "shed_saturated": self.shed_saturated,
             "shed_brick_wall": self.shed_brick_wall,
+            "shed_lagging": self.shed_lagging,
             "entered_shedding": self.entered_shedding,
             "entered_brick_wall": self.entered_brick_wall,
             "recovered_healthy": self.recovered_healthy,
@@ -231,6 +235,20 @@ class AdmissionController:
         ):
             self._enter(ServerState.SHEDDING)
         return self._shed("shed_brick_wall")
+
+    def note_lag_shed(self) -> bool:
+        """Record a read shed for replication lag (replica role).
+
+        Lag is pressure from *outside* the local machine, so it reuses
+        the same visible states — the replica reports SHEDDING over the
+        stats wire while lagging — without consuming tokens or touching
+        the inflight ladder.  Recovery to HEALTHY happens through the
+        normal admitted-request path once the lag clears.  BRICK_WALL is
+        never downgraded here — that exit is owned by the inflight drain.
+        """
+        if self.state is ServerState.HEALTHY:
+            self._enter(ServerState.SHEDDING)
+        return self._shed("shed_lagging")
 
     # -- internals -------------------------------------------------------------
 

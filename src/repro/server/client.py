@@ -14,6 +14,14 @@ of the wire:
   are retried with ``sleep ~ U(0, min(cap, base * 2**attempt))``, the
   AWS-style full-jitter schedule that avoids synchronized retry storms.
   The jitter RNG is injectable, so tests and chaos runs stay seeded.
+  Connection *refused* is the exception: nothing is listening, so waiting
+  cannot help — refused attempts retry immediately with no sleep and the
+  call fails fast, letting a failover caller move to the next endpoint.
+* **Failover** — :class:`FailoverMemcacheClient` fronts a primary plus
+  read replicas: writes go to the primary, reads rotate across replicas
+  and fall back endpoint-by-endpoint (lagging, draining, or unreachable
+  replicas are skipped), and ``promote`` retargets writes after a
+  replica is promoted.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import (
     ConnectionDrainingError,
     ProtocolError,
+    ReadOnlyReplicaError,
+    ReplicaLaggingError,
     RequestTimeoutError,
     ServerOverloadedError,
     ServingError,
@@ -101,6 +111,10 @@ def _raise_for_error_line(line: bytes) -> None:
             raise ServerOverloadedError(message)
         if "draining" in message:
             raise ConnectionDrainingError(message)
+        if "lagging" in message:
+            raise ReplicaLaggingError(message)
+        if "read-only" in message:
+            raise ReadOnlyReplicaError(message)
         raise ServingError(message)
     if line.startswith(b"CLIENT_ERROR") or line.startswith(b"ERROR"):
         raise ProtocolError(line.strip().decode("ascii", "replace"))
@@ -179,33 +193,55 @@ class MemcacheClient:
         """Run ``op(conn)`` with pooling, a deadline, and jittered retry."""
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.retry.max_attempts + 1):
-            conn = await self._acquire()
-            # From this point the slot is held; the finally below is the
-            # only return path.  A CancelledError out of wait_for (caller
-            # cancellation, loop shutdown) is deliberately NOT caught by
-            # the except arms — it falls through to the finally, which
-            # returns the slot, then propagates.  Without that, every
-            # cancelled request would permanently shrink the pool.
-            healthy = False
+            backoff = True
             try:
-                result = await asyncio.wait_for(op(conn), self.deadline)
-                healthy = True
-                return result
-            except (asyncio.TimeoutError, TimeoutError) as exc:
-                last_error = RequestTimeoutError(
-                    f"request missed its {self.deadline}s deadline"
-                )
-            except ServerOverloadedError as exc:
-                # The server answered; the connection itself is fine.
-                healthy = True
+                conn = await self._acquire()
+            except ConnectionRefusedError as exc:
+                # Nothing is listening on the endpoint.  Sleeping cannot
+                # help: either the process is mid-restart (the immediate
+                # next attempt may land) or it is dead and the caller
+                # should fail over to another endpoint *now*.  Retry
+                # without backoff so the whole call fails in microseconds
+                # instead of stalling a failover behind jittered sleeps.
                 last_error = exc
-            except ConnectionDrainingError as exc:
-                last_error = exc
+                backoff = False
             except _RETRYABLE as exc:
                 last_error = exc
-            finally:
-                self._release(conn, healthy)
-            if attempt < self.retry.max_attempts:
+            else:
+                # From this point the slot is held; the finally below is
+                # the only return path.  A CancelledError out of wait_for
+                # (caller cancellation, loop shutdown) is deliberately NOT
+                # caught by the except arms — it falls through to the
+                # finally, which returns the slot, then propagates.
+                # Without that, every cancelled request would permanently
+                # shrink the pool.
+                healthy = False
+                try:
+                    result = await asyncio.wait_for(op(conn), self.deadline)
+                    healthy = True
+                    return result
+                except (asyncio.TimeoutError, TimeoutError):
+                    last_error = RequestTimeoutError(
+                        f"request missed its {self.deadline}s deadline"
+                    )
+                except (ReplicaLaggingError, ReadOnlyReplicaError):
+                    # The server answered deliberately; the connection is
+                    # fine, but retrying the same endpoint cannot change
+                    # the answer — surface it so a failover client can
+                    # pick another endpoint.
+                    healthy = True
+                    raise
+                except ServerOverloadedError as exc:
+                    # The server answered; the connection itself is fine.
+                    healthy = True
+                    last_error = exc
+                except ConnectionDrainingError as exc:
+                    last_error = exc
+                except _RETRYABLE as exc:
+                    last_error = exc
+                finally:
+                    self._release(conn, healthy)
+            if backoff and attempt < self.retry.max_attempts:
                 await asyncio.sleep(self.retry.delay(attempt, self._rng))
         assert last_error is not None
         raise last_error
@@ -313,6 +349,34 @@ class MemcacheClient:
 
         return await self._call(op)
 
+    async def promote(self, catch_up: str = "") -> None:
+        """Promote the replica this client points at to primary.
+
+        ``catch_up`` optionally names the dead primary's journal
+        directory (on disk reachable from the replica); the replica
+        replays it from its applied position before taking writes, so
+        under ``fsync=always`` no acknowledged write is lost.
+        """
+        if catch_up and any(c.isspace() for c in catch_up):
+            raise ProtocolError(
+                "catch-up dir may not contain whitespace (text protocol line)"
+            )
+        request = b"promote"
+        if catch_up:
+            request += b" " + catch_up.encode("utf-8")
+        request += CRLF
+
+        async def op(conn: _Connection) -> None:
+            conn.writer.write(request)
+            await conn.writer.drain()
+            line = (await conn.read_line()).rstrip()
+            if line == b"PROMOTED":
+                return None
+            _raise_for_error_line(line + CRLF)
+            raise ProtocolError(f"unexpected promote reply {line!r}")
+
+        return await self._call(op)
+
     # -- helpers ---------------------------------------------------------------
 
     @staticmethod
@@ -347,3 +411,160 @@ class MemcacheClient:
             if trailer != CRLF:
                 raise ProtocolError("VALUE block missing CRLF trailer")
             yield key, value, cas
+
+
+#: Read-path conditions that mean "try the next endpoint", not "give up":
+#: the endpoint is lagging, draining, overloaded, unreachable, or slow.
+#: ProtocolError is deliberately absent — a malformed exchange is a bug,
+#: and failing over would only mask it.
+_FAILOVER_ERRORS = (
+    ReplicaLaggingError,
+    ReadOnlyReplicaError,
+    ServerOverloadedError,
+    ConnectionDrainingError,
+    RequestTimeoutError,
+    ConnectionError,
+    OSError,
+    EOFError,
+    asyncio.IncompleteReadError,
+)
+
+Address = Tuple[str, int]
+
+
+class FailoverMemcacheClient:
+    """A primary plus read replicas behind one client interface.
+
+    * **Writes** (``set``/``delete``) go to the primary only; replicas
+      answer them with ``SERVER_ERROR read-only replica`` anyway.
+    * **Reads** rotate across the replicas round-robin and fall back
+      endpoint-by-endpoint — a replica that is lagging past its
+      advertised bound, draining, or unreachable just means the next
+      replica (and finally the primary) is tried.  Each endpoint attempt
+      runs under the per-request deadline of its own pooled client, and
+      connection-refused endpoints fail over in microseconds (see
+      :meth:`MemcacheClient._call`).
+    * **Promotion** — :meth:`promote` sends the ``promote`` command to a
+      chosen replica and, on success, retargets writes at it.  The
+      rotation is a plain counter and the replica order is the caller's,
+      so a seeded harness sees identical routing every run.
+    """
+
+    def __init__(
+        self,
+        primary: Address,
+        replicas: Sequence[Address] = (),
+        *,
+        pool_size: int = 2,
+        deadline: float = 2.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        rng = rng if rng is not None else random.Random()
+
+        def make(address: Address) -> MemcacheClient:
+            host, port = address
+            return MemcacheClient(
+                host=host,
+                port=port,
+                pool_size=pool_size,
+                deadline=deadline,
+                retry=retry,
+                rng=rng,
+            )
+
+        self._primary = make(primary)
+        self._replicas: List[MemcacheClient] = [make(a) for a in replicas]
+        self._rotation = 0
+        #: Observability for tests and the chaos harness.
+        self.reads_primary = 0
+        self.reads_replica = 0
+        self.read_failovers = 0
+        self.promotions = 0
+
+    # -- topology --------------------------------------------------------------
+
+    @property
+    def primary_address(self) -> Address:
+        return (self._primary.host, self._primary.port)
+
+    @property
+    def replica_addresses(self) -> List[Address]:
+        return [(c.host, c.port) for c in self._replicas]
+
+    async def close(self) -> None:
+        await self._primary.close()
+        for client in self._replicas:
+            await client.close()
+
+    # -- reads -----------------------------------------------------------------
+
+    def _read_order(self) -> List[MemcacheClient]:
+        """Replicas from the rotation point, then the primary as backstop."""
+        if not self._replicas:
+            return [self._primary]
+        start = self._rotation % len(self._replicas)
+        self._rotation += 1
+        ordered = self._replicas[start:] + self._replicas[:start]
+        ordered.append(self._primary)
+        return ordered
+
+    async def get(self, key: bytes) -> Optional[bytes]:
+        values = await self.get_many([key])
+        return values.get(key)
+
+    async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
+        last_error: Optional[BaseException] = None
+        for client in self._read_order():
+            try:
+                result = await client.get_many(keys)
+            except _FAILOVER_ERRORS as exc:
+                last_error = exc
+                self.read_failovers += 1
+                continue
+            if client is self._primary:
+                self.reads_primary += 1
+            else:
+                self.reads_replica += 1
+            return result
+        assert last_error is not None
+        raise last_error
+
+    # -- writes ----------------------------------------------------------------
+
+    async def set(self, key: bytes, value: bytes, ttl: float = 0.0) -> bool:
+        return await self._primary.set(key, value, ttl)
+
+    async def delete(self, key: bytes) -> bool:
+        return await self._primary.delete(key)
+
+    async def stats(self) -> Dict[str, str]:
+        return await self._primary.stats()
+
+    # -- failover --------------------------------------------------------------
+
+    async def promote(self, replica_index: int = 0, catch_up: str = "") -> Address:
+        """Promote one replica and retarget writes at it.
+
+        Returns the new primary's address.  On failure the topology is
+        unchanged (the replica stays in the read rotation) and the error
+        propagates.  The old primary's client is closed, not promoted
+        back — the caller decides whether the dead process ever returns,
+        and if it does, it must come back as a replica.
+        """
+        if not 0 <= replica_index < len(self._replicas):
+            raise ValueError(
+                f"replica_index {replica_index} out of range "
+                f"(have {len(self._replicas)} replicas)"
+            )
+        client = self._replicas.pop(replica_index)
+        try:
+            await client.promote(catch_up)
+        except BaseException:
+            self._replicas.insert(replica_index, client)
+            raise
+        retired = self._primary
+        self._primary = client
+        self.promotions += 1
+        await retired.close()
+        return self.primary_address

@@ -8,7 +8,8 @@ reply line the server should send (``ERROR`` / ``CLIENT_ERROR ...``) and
 whether the connection is still usable afterwards.
 
 Supported commands: ``get``/``gets`` (multi-key), ``set``, ``delete``,
-``stats``, ``version``, ``quit``.  Limits follow memcached: keys are at
+``stats``, ``version``, ``quit``, plus the operator-only ``promote``
+(replica -> primary failover).  Limits follow memcached: keys are at
 most 250 bytes with no whitespace or control characters; values are
 bounded by the server's configured item size and rejected with
 ``CLIENT_ERROR`` (the declared data block is consumed first, so the
@@ -214,7 +215,25 @@ class RequestParser:
             if args:
                 return BadCommand(ERROR, f"{name.decode()} takes no arguments")
             return Command(name=name.decode())
+        if name == b"promote":
+            return self._parse_promote(args)
         return BadCommand(ERROR, f"unknown command {name!r}")
+
+    def _parse_promote(self, args: List[bytes]) -> Event:
+        """``promote [catch-up-dir]`` — the operator/harness failover hook.
+
+        The optional argument is the dead primary's journal directory
+        (reachable on local disk); the promoting replica replays it from
+        its applied position so no acknowledged write is lost.  Paths
+        with spaces cannot be expressed in the text protocol — the cli
+        rejects them client-side.
+        """
+        if len(args) > 1:
+            return BadCommand(
+                client_error("bad command line format"),
+                "promote takes at most one argument (catch-up dir)",
+            )
+        return Command(name="promote", value=args[0] if args else b"")
 
     def _parse_get(self, name: str, args: List[bytes]) -> Event:
         if not args:

@@ -25,16 +25,24 @@ Robustness is the design driver, not protocol coverage:
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import __version__
+from repro.common.errors import JournalError
 from repro.core.snapshot import LoadResult, load_snapshot, write_snapshot
 from repro.durability import DurabilityConfig, DurabilityManager
 from repro.faults.auditor import InvariantAuditor
 from repro.metrics import MetricsRegistry, log_buckets
+from repro.replication import (
+    ReplicationClient,
+    ReplicationSource,
+    ReplicationStats,
+    catch_up_from_directory,
+)
 from repro.server import protocol
 from repro.server.admission import (
     AdmissionConfig,
@@ -49,6 +57,9 @@ TICK_SECONDS = 1e-5
 
 _OVERLOADED = protocol.server_error("overloaded")
 _DRAINING = protocol.server_error("draining")
+_LAGGING = protocol.server_error("lagging")
+_READ_ONLY = protocol.server_error("read-only replica")
+PROMOTED = b"PROMOTED" + protocol.CRLF
 
 
 @dataclass
@@ -86,6 +97,31 @@ class ServerConfig:
     checkpoint_bytes: int = 4 << 20
     #: Background at-rest integrity scrub cadence (0 = off).
     scrub_interval: float = 30.0
+    # -- replication (off by default) ------------------------------------------
+    #: ``primary`` serves writes; ``replica`` applies a primary's journal
+    #: stream and refuses client mutations until promoted.
+    role: str = "primary"
+    #: Arm the journal-shipping listener on this port (0 = ephemeral,
+    #: None = no replication source).  Requires ``journal_dir``.
+    repl_port: Optional[int] = None
+    repl_host: str = "127.0.0.1"
+    #: Where a replica finds its primary's replication listener.
+    primary_host: str = "127.0.0.1"
+    primary_port: Optional[int] = None
+    #: Replica-side lag policy: past ``max_lag_bytes`` shed Z-zone-bound
+    #: GETs; past ``hard_lag_bytes`` (0 = 4x max) — or with no stream
+    #: traffic for ``stale_grace`` seconds — shed every GET.
+    max_lag_bytes: int = 1 << 20
+    hard_lag_bytes: int = 0
+    stale_grace: float = 1.0
+    #: Replica-side half-open-link detection: this long with nothing
+    #: received on an open stream and the replica re-dials the primary.
+    repl_silence_timeout: float = 5.0
+    repl_heartbeat_interval: float = 0.25
+    repl_write_timeout: float = 5.0
+    #: Bound on the primary's in-memory live send queue per replica;
+    #: overflow falls back to tailing the on-disk journal.
+    repl_queue_bytes: int = 1 << 20
 
     def validate(self) -> None:
         if self.read_timeout <= 0 or self.write_timeout <= 0:
@@ -98,6 +134,18 @@ class ServerConfig:
             raise ValueError("audit_interval must be >= 0")
         if self.journal_dir is not None:
             self.durability_config().validate()
+        if self.role not in ("primary", "replica"):
+            raise ValueError(f"unknown role {self.role!r}")
+        if self.role == "replica" and self.primary_port is None:
+            raise ValueError("replica role requires primary_port")
+        if self.repl_port is not None and self.journal_dir is None:
+            raise ValueError("repl_port requires journal_dir (the stream IS the journal)")
+        if self.max_lag_bytes <= 0 or self.stale_grace <= 0:
+            raise ValueError("max_lag_bytes and stale_grace must be positive")
+        if self.repl_silence_timeout <= 0:
+            raise ValueError("repl_silence_timeout must be positive")
+        if self.hard_lag_bytes < 0:
+            raise ValueError("hard_lag_bytes must be >= 0")
         self.admission.validate()
 
     def durability_config(self) -> DurabilityConfig:
@@ -193,6 +241,12 @@ class CacheServer:
         #: Write-ahead journal + checkpoints; armed in start() when
         #: ``config.journal_dir`` is set.
         self.durability: Optional[DurabilityManager] = None
+        #: Journal-shipping replication; counters exist (zero-valued)
+        #: even when replication is off so the stats wire is stable.
+        self.replication_stats = ReplicationStats()
+        self.registry.mount("replication", self.replication_stats)
+        self.repl_source: Optional[ReplicationSource] = None
+        self.repl_client: Optional[ReplicationClient] = None
         self._housekeeping: Optional[asyncio.Task] = None
         self._inflight = 0
         self._draining = False
@@ -231,6 +285,31 @@ class CacheServer:
             self._housekeeping = asyncio.get_running_loop().create_task(
                 self._durability_housekeeping()
             )
+        if self.config.repl_port is not None:
+            assert self.durability is not None
+            self.repl_source = ReplicationSource(
+                self.cache,
+                self.durability,
+                self.replication_stats,
+                heartbeat_interval=self.config.repl_heartbeat_interval,
+                write_timeout=self.config.repl_write_timeout,
+                queue_bytes=self.config.repl_queue_bytes,
+            )
+            await self.repl_source.start(
+                self.config.repl_host, self.config.repl_port
+            )
+        if self.config.role == "replica":
+            self.repl_client = ReplicationClient(
+                self.cache,
+                self.config.primary_host,
+                self.config.primary_port,
+                self.replication_stats,
+                max_lag_bytes=self.config.max_lag_bytes,
+                hard_lag_bytes=self.config.hard_lag_bytes,
+                stale_grace=self.config.stale_grace,
+                silence_timeout=self.config.repl_silence_timeout,
+            )
+            self.repl_client.start()
 
     def _warm_restart(self, path: str) -> None:
         try:
@@ -249,6 +328,15 @@ class CacheServer:
     def _recover_durable(self) -> None:
         self.durability = DurabilityManager(self.config.durability_config())
         recovery = self.durability.recover_into(self.cache)
+        if recovery.history_gap is not None:
+            # A hole in history no quarantine pass could have left:
+            # serving over it could resurrect deletes and hide acked
+            # writes.  Refuse loudly; the operator decides what to do.
+            self.durability.writer.close()
+            raise JournalError(
+                f"refusing to serve {self.config.journal_dir}: "
+                f"{recovery.history_gap}"
+            )
         self.durability.attach_to(self.cache)
         self.registry.mount("durability", self.durability.stats)
         for incident in recovery.incidents:
@@ -300,6 +388,10 @@ class CacheServer:
                 f"drain deadline ({deadline}s) expired with "
                 f"{self._inflight} requests inflight"
             )
+        if self.repl_client is not None:
+            await self.repl_client.stop()
+        if self.repl_source is not None:
+            await self.repl_source.close()
         if self.config.snapshot_path is not None:
             try:
                 self.stats.snapshot_written = write_snapshot(
@@ -415,6 +507,13 @@ class CacheServer:
         if command.name == "stats":
             await self._send(writer, protocol.encode_stats(self.stats_dict()))
             return True
+        if command.name == "promote":
+            await self._handle_promote(command, writer)
+            return True
+        if self.config.role == "replica" and await self._replica_gate(
+            command, writer
+        ):
+            return True
         if not self.admission.admit(
             zzone_bound=self._zzone_bound(command), inflight=self._inflight
         ):
@@ -445,6 +544,78 @@ class CacheServer:
     async def _send(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
         writer.write(payload)
         await asyncio.wait_for(writer.drain(), self.config.write_timeout)
+
+    # -- replica policy --------------------------------------------------------
+
+    async def _replica_gate(
+        self, command: Command, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Replica-role refusals; True when the command was answered here.
+
+        Writes are refused outright (the stream is the only writer), and
+        reads are shed in Z-zone-first order once lag exceeds the
+        advertised bound — serving them could hand out bytes staler than
+        the deployment promised.
+        """
+        if command.name in ("set", "delete"):
+            self.replication_stats.read_only_rejects += 1
+            if not command.noreply:
+                await self._send(writer, _READ_ONLY)
+            return True
+        if command.name in ("get", "gets") and self.repl_client is not None:
+            level = self.repl_client.pressure_level()
+            if level >= 2 or (level == 1 and self._zzone_bound(command)):
+                self.replication_stats.lagging_rejects += 1
+                self.admission.note_lag_shed()
+                if not command.noreply:
+                    await self._send(writer, _LAGGING)
+                return True
+        return False
+
+    async def _handle_promote(
+        self, command: Command, writer: asyncio.StreamWriter
+    ) -> None:
+        """The consensus-free failover hook: replica -> primary, now.
+
+        With a catch-up directory (the dead primary's journal on shared
+        or local disk) the replica first replays everything past its
+        applied position — under fsync=always over there, that is every
+        acknowledged write — so promotion loses nothing.  Without one,
+        loss is bounded by the replication lag at the moment of death.
+        """
+        if self.config.role != "replica":
+            await self._send(writer, protocol.server_error("not a replica"))
+            return
+        catch_up_dir: Optional[str] = None
+        if command.value:
+            catch_up_dir = command.value.decode("utf-8", "replace")
+            if not os.path.isdir(catch_up_dir):
+                await self._send(
+                    writer,
+                    protocol.server_error("catch-up dir not found"),
+                )
+                return
+        client = self.repl_client
+        self.repl_client = None
+        position = (0, 0)
+        if client is not None:
+            position = client.position
+            await client.stop()
+        caught, mode = 0, "none"
+        if catch_up_dir is not None:
+            try:
+                caught, mode = catch_up_from_directory(
+                    self.cache, catch_up_dir, position
+                )
+                self.replication_stats.catch_up_records += caught
+            except Exception as exc:
+                self.incidents.append(f"promotion catch-up failed: {exc}")
+        self.config.role = "primary"
+        self.replication_stats.promotions += 1
+        self.incidents.append(
+            f"promoted to primary (catch-up {mode}: {caught} records)"
+        )
+        await self._send(writer, PROMOTED)
 
     # -- command execution -----------------------------------------------------
 
@@ -560,6 +731,27 @@ class CacheServer:
         if self.durability is not None:
             for name, value in vars(self.durability.stats).items():
                 out["durability_" + name] = value
+        out["replication_role"] = self.config.role
+        for name, value in vars(self.replication_stats).items():
+            out["replication_" + name] = value
+        if self.repl_client is not None:
+            out["replication_connected"] = int(self.repl_client.connected)
+            out["replication_lag_bytes"] = self.repl_client.lag_bytes()
+            out["replication_pressure"] = self.repl_client.pressure_level()
+        else:
+            out["replication_connected"] = 0
+            out["replication_lag_bytes"] = 0
+            out["replication_pressure"] = 0
+        if self.repl_source is not None:
+            out["replication_replicas_connected"] = (
+                self.repl_source.replicas_connected
+            )
+            out["replication_max_replica_lag_bytes"] = (
+                self.repl_source.max_replica_lag_bytes
+            )
+        else:
+            out["replication_replicas_connected"] = 0
+            out["replication_max_replica_lag_bytes"] = 0
         fastpath = getattr(self.cache, "aggregate_fastpath", None)
         if fastpath is not None:
             for name, value in fastpath().items():

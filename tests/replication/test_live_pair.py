@@ -1,0 +1,369 @@
+"""In-process primary/replica pairs: propagation, resync, lag, promotion."""
+
+import asyncio
+import time
+
+from repro.core import SimpleKVCache
+from repro.nzone import PlainZone
+from repro.core.config import ZExpanderConfig
+from repro.core.sharded import ShardedZExpander
+from repro.replication.replica import ReplicationClient, catch_up_from_directory
+from repro.server.server import CacheServer, ServerConfig
+
+
+def make_cache(capacity=512 * 1024, shards=2, seed=11):
+    return ShardedZExpander(
+        ZExpanderConfig(total_capacity=capacity, seed=seed), num_shards=shards
+    )
+
+
+async def start_primary(journal_dir, **kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("fsync", "always")
+    kwargs.setdefault("repl_port", 0)
+    kwargs.setdefault("journal_segment_bytes", 1024)
+    kwargs.setdefault("checkpoint_bytes", 4096)
+    server = CacheServer(
+        make_cache(), ServerConfig(journal_dir=str(journal_dir), **kwargs)
+    )
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def start_replica(primary_repl_port, cache=None, **kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("stale_grace", 0.4)
+    server = CacheServer(
+        cache if cache is not None else make_cache(),
+        ServerConfig(
+            role="replica",
+            primary_host="127.0.0.1",
+            primary_port=primary_repl_port,
+            **kwargs,
+        ),
+    )
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def wait_until(predicate, timeout=10.0, interval=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+async def send(writer, reader, payload, reply_lines=1):
+    writer.write(payload)
+    await writer.drain()
+    lines = []
+    for _ in range(reply_lines):
+        lines.append(await reader.readline())
+    return b"".join(lines)
+
+
+async def drain(server, task):
+    server.begin_drain()
+    return await task
+
+
+class TestPropagation:
+    def test_sets_and_deletes_reach_the_replica(self, tmp_path):
+        async def go():
+            primary, ptask = await start_primary(tmp_path)
+            replica, rtask = await start_replica(primary.repl_source.port)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", primary.port
+            )
+            for i in range(30):
+                reply = await send(
+                    writer, reader, b"set pk%03d 0 0 6\r\nval%03d\r\n" % (i, i)
+                )
+                assert reply == b"STORED\r\n"
+            for i in range(5):
+                assert (
+                    await send(writer, reader, b"delete pk%03d\r\n" % i)
+                    == b"DELETED\r\n"
+                )
+            # The replica applies through the same cache API, so its
+            # contents are directly checkable without the read gate.
+            assert await wait_until(
+                lambda: replica.cache.get(b"pk029") == b"val029"
+                and replica.cache.get(b"pk000") is None
+            )
+            for i in range(5, 30):
+                assert replica.cache.get(b"pk%03d" % i) == b"val%03d" % i
+            writer.close()
+            assert await drain(replica, rtask) is not None
+            assert await drain(primary, ptask) is not None
+
+        asyncio.run(go())
+
+    def test_replica_refuses_client_writes(self, tmp_path):
+        async def go():
+            primary, ptask = await start_primary(tmp_path)
+            replica, rtask = await start_replica(primary.repl_source.port)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", replica.port
+            )
+            reply = await send(writer, reader, b"set k 0 0 1\r\nv\r\n")
+            assert b"read-only" in reply
+            reply = await send(writer, reader, b"delete k\r\n")
+            assert b"read-only" in reply
+            writer.close()
+            await drain(replica, rtask)
+            await drain(primary, ptask)
+
+        asyncio.run(go())
+
+    def test_cut_link_sheds_reads_past_the_grace(self, tmp_path):
+        async def go():
+            primary, ptask = await start_primary(tmp_path)
+            replica, rtask = await start_replica(
+                primary.repl_source.port, stale_grace=0.3
+            )
+            assert await wait_until(lambda: replica.repl_client.connected)
+            # Kill the primary outright: stream dead, no more heartbeats.
+            await drain(primary, ptask)
+            await asyncio.sleep(0.6)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", replica.port
+            )
+            reply = await send(writer, reader, b"get anything\r\n")
+            assert b"lagging" in reply
+            writer.close()
+            await drain(replica, rtask)
+
+        asyncio.run(go())
+
+
+class TestSnapshotResync:
+    def test_late_joiner_resyncs_and_drops_stale_keys(self, tmp_path):
+        async def go():
+            primary, ptask = await start_primary(
+                tmp_path, journal_segment_bytes=512, checkpoint_bytes=2048
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", primary.port
+            )
+            # Enough traffic that the primary checkpoints and prunes: a
+            # (0, 0) joiner can then only be served by a snapshot.
+            for i in range(120):
+                value = b"x" * 40
+                reply = await send(
+                    writer,
+                    reader,
+                    b"set warm%04d 0 0 %d\r\n%s\r\n" % (i, len(value), value),
+                )
+                assert reply == b"STORED\r\n"
+            assert primary.durability.stats.checkpoints_written >= 1
+
+            # A replica that thinks it already knows something: its bogus
+            # key must not survive the resync (it may have been deleted
+            # on the primary while this replica was away).
+            stale_cache = make_cache()
+            stale_cache.set(b"bogus-key", b"stale bytes")
+            replica, rtask = await start_replica(
+                primary.repl_source.port, cache=stale_cache
+            )
+            assert await wait_until(
+                lambda: replica.replication_stats.snapshots_applied >= 1
+                and replica.cache.get(b"warm0119") == b"x" * 40
+                and replica.cache.get(b"bogus-key") is None
+            )
+            writer.close()
+            await drain(replica, rtask)
+            await drain(primary, ptask)
+
+        asyncio.run(go())
+
+
+class TestLagPressure:
+    def test_pressure_levels_follow_lag_and_silence(self):
+        client = ReplicationClient(
+            SimpleKVCache(PlainZone(1 << 20)),
+            "127.0.0.1",
+            1,
+            max_lag_bytes=1000,
+            stale_grace=0.5,
+        )
+        # Never connected: shed everything.
+        assert client.pressure_level() == 2
+        now = time.monotonic()
+        client.connected = True
+        client.last_contact = now
+        assert client.pressure_level(now) == 0
+        # Heartbeat says the primary sent more than we applied.
+        client._conn_applied = 0
+        client._heartbeat = (1500, 0, 1, 0)
+        assert client.lag_bytes() == 1500
+        assert client.pressure_level(now) == 1  # past max, under hard (4x)
+        client._heartbeat = (1500, 3000, 1, 0)
+        assert client.lag_bytes() == 4500
+        assert client.pressure_level(now) == 2  # past hard_lag
+        # Catching up drops the pressure again.
+        client._heartbeat = (1500, 0, 1, 0)
+        client._conn_applied = 1400
+        assert client.lag_bytes() == 100
+        assert client.pressure_level(now) == 0
+        # A healthy-looking lag still sheds once the link goes silent.
+        assert client.pressure_level(now + 1.0) == 2
+
+
+class TestPromotion:
+    def test_promote_with_catch_up_takes_writes(self, tmp_path):
+        async def go():
+            primary, ptask = await start_primary(tmp_path)
+            replica, rtask = await start_replica(primary.repl_source.port)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", primary.port
+            )
+            for i in range(40):
+                reply = await send(
+                    writer, reader, b"set d%03d 0 0 6\r\nnum%03d\r\n" % (i, i)
+                )
+                assert reply == b"STORED\r\n"
+            writer.close()
+            await drain(primary, ptask)  # the primary is gone
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", replica.port
+            )
+            reply = await send(
+                writer,
+                reader,
+                b"promote %s\r\n" % str(tmp_path).encode(),
+            )
+            assert reply == b"PROMOTED\r\n"
+            assert replica.config.role == "primary"
+            assert replica.replication_stats.promotions == 1
+            # Every write the dead primary acked, plus new ones.
+            for i in range(40):
+                assert replica.cache.get(b"d%03d" % i) == b"num%03d" % i
+            assert (
+                await send(writer, reader, b"set fresh 0 0 3\r\nnew\r\n")
+                == b"STORED\r\n"
+            )
+            assert (
+                await send(writer, reader, b"get fresh\r\n", reply_lines=3)
+                == b"VALUE fresh 0 3\r\nnew\r\nEND\r\n"
+            )
+            writer.close()
+            await drain(replica, rtask)
+
+        asyncio.run(go())
+
+    def test_promote_refused_on_a_primary(self, tmp_path):
+        async def go():
+            primary, ptask = await start_primary(tmp_path)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", primary.port
+            )
+            reply = await send(writer, reader, b"promote\r\n")
+            assert b"not a replica" in reply
+            writer.close()
+            await drain(primary, ptask)
+
+        asyncio.run(go())
+
+
+class TestCatchUpFromDirectory:
+    def _build_journal(self, tmp_path):
+        from repro.durability.journal import JournalConfig, JournalWriter
+
+        writer = JournalWriter(
+            JournalConfig(
+                directory=str(tmp_path), segment_bytes=512, fsync="never"
+            )
+        )
+        for i in range(25):
+            writer.append_set(b"c%03d" % i, b"val-%03d" % i)
+        writer.append_delete(b"c000")
+        position_mid = None
+        writer.close()
+        return position_mid
+
+    def test_full_replay_from_zero_position(self, tmp_path):
+        self._build_journal(tmp_path)
+        cache = SimpleKVCache(PlainZone(1 << 20))
+        cache.set(b"leftover", b"should vanish")
+        applied, mode = catch_up_from_directory(cache, str(tmp_path), (0, 0))
+        assert mode == "full"
+        assert applied == 26
+        assert cache.get(b"leftover") is None
+        assert cache.get(b"c000") is None  # the delete replayed too
+        assert cache.get(b"c024") == b"val-024"
+
+    def test_tail_replay_from_known_position(self, tmp_path):
+        from repro.replication.tailer import JournalTailer
+
+        self._build_journal(tmp_path)
+        # Apply the first half by tailing, then catch up from there.
+        cache = SimpleKVCache(PlainZone(1 << 20))
+        tailer = JournalTailer(str(tmp_path), 1, 0)
+        applied = 0
+        position = (1, 0)
+        while applied < 10:
+            for op, key, value, _p, seg, end in tailer.read_batch(1):
+                from repro.durability.journal import OP_SET
+
+                if op == OP_SET:
+                    cache.set(key, value)
+                else:
+                    cache.delete(key)
+                position = (seg, end)
+                applied += 1
+        tailer.close()
+        caught, mode = catch_up_from_directory(cache, str(tmp_path), position)
+        assert mode == "tail"
+        assert caught == 16  # the remaining 15 sets + 1 delete
+        assert cache.get(b"c000") is None
+        assert cache.get(b"c024") == b"val-024"
+
+
+class TestSilentLinkWatchdog:
+    def test_half_open_link_is_cut_and_redialed(self):
+        """A primary that accepts, then goes silent forever (half-open
+        TCP: SIGKILLed peer behind a middlebox that swallows the close)
+        must not pin the replica to a dead stream."""
+
+        async def go():
+            accepted = []
+
+            async def mute_primary(reader, writer):
+                accepted.append(writer)
+                # Read the HELLO and then say nothing, close nothing.
+                await reader.read(64)
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(
+                mute_primary, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            client = ReplicationClient(
+                SimpleKVCache(PlainZone(1 << 20)),
+                "127.0.0.1",
+                port,
+                silence_timeout=0.3,
+                reconnect_base=0.01,
+                reconnect_cap=0.05,
+            )
+            client.start()
+            try:
+                assert await wait_until(
+                    lambda: client.stats.silent_link_drops >= 2, timeout=10.0
+                ), client.stats
+                assert client.stats.source_connects >= 2
+                assert len(accepted) >= 2
+            finally:
+                await client.stop()
+                server.close()
+                await server.wait_closed()
+                for w in accepted:
+                    w.close()
+
+        asyncio.run(go())

@@ -1,0 +1,187 @@
+"""Journal tailing across segment rotations: every record once, in order.
+
+The replication sender's fallback path and a promoting replica's catch-up
+both ride :class:`JournalTailer`; a dropped or duplicated record at a
+rotation boundary would become silent replica divergence, so the
+boundary cases get their own tests: batch reads that straddle rotations,
+single-record reads that land exactly on them, tailing a directory while
+the writer is still appending, torn tails, and pruned positions.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.durability.journal import (
+    OP_DELETE,
+    OP_SET,
+    SEGMENT_MAGIC,
+    JournalConfig,
+    JournalWriter,
+    list_segments,
+    segment_name,
+)
+from repro.replication.tailer import JournalTailer, SegmentPrunedError
+
+
+def make_writer(tmp_path, segment_bytes=256):
+    return JournalWriter(
+        JournalConfig(
+            directory=str(tmp_path), segment_bytes=segment_bytes, fsync="never"
+        )
+    )
+
+
+def append_sets(writer, count, start=0, value_bytes=48):
+    expected = []
+    for i in range(start, start + count):
+        key = b"key-%04d" % i
+        value = (b"v%04d-" % i) * (value_bytes // 6)
+        writer.append_set(key, value)
+        expected.append((OP_SET, key, value))
+    return expected
+
+
+def read_everything(tailer, batch=256):
+    out = []
+    while True:
+        records = tailer.read_batch(batch)
+        if not records:
+            return out
+        out.extend(records)
+
+
+class TestRotationBoundaries:
+    def test_no_drop_no_dup_across_many_rotations(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=256)
+        expected = append_sets(writer, 60)
+        writer.append_delete(b"key-0000")
+        expected.append((OP_DELETE, b"key-0000", b""))
+        writer.close()
+        # The workload genuinely rotated — the boundary exists to cross.
+        assert len(list_segments(str(tmp_path))) >= 3
+
+        tailer = JournalTailer(str(tmp_path), 1, 0)
+        records = read_everything(tailer)
+        tailer.close()
+        assert [(op, key, value) for op, key, value, *_ in records] == expected
+
+    def test_single_record_batches_cross_rotations_too(self, tmp_path):
+        """read_batch(1) forces every boundary through the handoff path."""
+        writer = make_writer(tmp_path, segment_bytes=256)
+        expected = append_sets(writer, 40)
+        writer.close()
+
+        tailer = JournalTailer(str(tmp_path), 1, 0)
+        records = read_everything(tailer, batch=1)
+        tailer.close()
+        assert [(op, key, value) for op, key, value, *_ in records] == expected
+
+    def test_positions_strictly_advance_and_never_straddle(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=256)
+        append_sets(writer, 40)
+        writer.close()
+
+        tailer = JournalTailer(str(tmp_path), 1, 0)
+        records = read_everything(tailer)
+        tailer.close()
+        positions = [(seg, end) for *_rest, seg, end in records]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+        # Every end offset fits inside its own segment file: records
+        # never straddle a rotation.
+        sizes = {
+            seq: os.path.getsize(path)
+            for seq, path in list_segments(str(tmp_path))
+        }
+        for seg, end in positions:
+            assert len(SEGMENT_MAGIC) < end <= sizes[seg]
+
+    def test_resume_from_mid_stream_position_is_exact(self, tmp_path):
+        """Restarting from any returned position replays exactly the rest."""
+        writer = make_writer(tmp_path, segment_bytes=256)
+        expected = append_sets(writer, 30)
+        writer.close()
+
+        tailer = JournalTailer(str(tmp_path), 1, 0)
+        records = read_everything(tailer)
+        tailer.close()
+        for cut in (0, 5, len(records) // 2, len(records) - 1):
+            _op, _key, _value, _payload, seg, end = records[cut]
+            resumed = JournalTailer(str(tmp_path), seg, end)
+            rest = read_everything(resumed)
+            resumed.close()
+            assert [
+                (op, key, value) for op, key, value, *_ in rest
+            ] == expected[cut + 1 :]
+
+    def test_live_tail_sees_later_appends_exactly_once(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=256)
+        first = append_sets(writer, 8)
+
+        tailer = JournalTailer(str(tmp_path), 1, 0)
+        got = read_everything(tailer)
+        assert [(op, key, value) for op, key, value, *_ in got] == first
+        # Caught up: nothing more on disk right now.
+        assert tailer.read_batch() == []
+
+        second = append_sets(writer, 30, start=8)  # forces rotations
+        writer.close()
+        more = read_everything(tailer)
+        tailer.close()
+        assert [(op, key, value) for op, key, value, *_ in more] == second
+
+
+class TestTailDamage:
+    def test_torn_tail_in_newest_segment_stops_cleanly(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=4096)
+        expected = append_sets(writer, 5)
+        writer.close()
+        ((seq, path),) = list_segments(str(tmp_path))
+        with open(path, "ab") as stream:
+            stream.write(struct.pack(">I", 500) + b"only half a record")
+
+        tailer = JournalTailer(str(tmp_path), seq, 0)
+        records = read_everything(tailer)
+        assert [(op, key, value) for op, key, value, *_ in records] == expected
+        # Still parked before the torn bytes, not erroring on them.
+        assert tailer.read_batch() == []
+        tailer.close()
+
+    def test_pruned_position_demands_resync(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=256)
+        append_sets(writer, 40)
+        writer.close()
+        segments = list_segments(str(tmp_path))
+        assert len(segments) >= 3
+        os.remove(segments[0][1])  # prune the tailer's segment
+
+        tailer = JournalTailer(str(tmp_path), segments[0][0], 0)
+        with pytest.raises(SegmentPrunedError):
+            tailer.read_batch()
+        tailer.close()
+
+    def test_not_yet_created_segment_is_just_empty(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=256)
+        append_sets(writer, 3)
+        writer.close()
+        newest = list_segments(str(tmp_path))[-1][0]
+        tailer = JournalTailer(str(tmp_path), newest + 1, 0)
+        assert tailer.read_batch() == []  # waiting, not pruned
+        tailer.close()
+
+    def test_missing_named_segment_with_newer_history_is_pruned(self, tmp_path):
+        writer = make_writer(tmp_path, segment_bytes=256)
+        append_sets(writer, 40)
+        writer.close()
+        oldest = list_segments(str(tmp_path))[0][0]
+        assert not os.path.exists(
+            os.path.join(str(tmp_path), segment_name(oldest - 1))
+        ) or oldest == 1
+        tailer = JournalTailer(str(tmp_path), 0, 0)
+        # Position (0, 0) names a segment that never existed while newer
+        # ones do: indistinguishable from pruning, so resync.
+        with pytest.raises(SegmentPrunedError):
+            tailer.read_batch()
+        tailer.close()

@@ -8,7 +8,7 @@ from repro.server.client import MemcacheClient
 from repro.server.server import CacheServer, ServerConfig
 
 #: Values that are deliberately non-numeric on the wire.
-_TEXT_KEYS = {"version", "state"}
+_TEXT_KEYS = {"version", "state", "replication_role"}
 
 
 async def start_server(**config_kwargs):
