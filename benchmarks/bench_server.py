@@ -358,6 +358,58 @@ async def bench_multiget_batch(
     )
 
 
+async def bench_cluster_multiget(
+    ops: int, keys: int, seed: int, nodes: int = 3, batch: int = 16
+) -> BenchRecord:
+    """Ring-routed multi-GET over a real 3-process cluster.
+
+    Each batch fans out into per-node multigets issued concurrently, so
+    the interesting comparison is against ``server_multiget_batch`` (the
+    single-node baseline with the same batch size): the cluster pays one
+    round-trip to the *slowest* involved node per batch plus routing
+    overhead.  Recorded, not gated — the ratio depends on core count.
+    """
+    import tempfile
+
+    from repro.cluster.client import ClusterClient
+    from repro.cluster.procs import ClusterConfig, ClusterSupervisor
+
+    with tempfile.TemporaryDirectory(prefix="zx-bench-cluster-") as workdir:
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                nodes=nodes, seed=seed, workdir=workdir, fsync="interval"
+            )
+        )
+        addresses = await supervisor.start()
+        client = ClusterClient(addresses, pool_size=2)
+        try:
+            for key_id in range(keys):
+                await client.set(
+                    key_name(0, key_id), expected_value(seed, 0, key_id, 1)
+                )
+            rounds = max(1, ops // batch)
+            samples = []
+            started = time.perf_counter()
+            for i in range(rounds):
+                names = [
+                    key_name(0, (i * batch + j) % keys) for j in range(batch)
+                ]
+                t0 = time.perf_counter()
+                await client.get_many(names)
+                samples.append((time.perf_counter() - t0) * 1e6)
+            wall = time.perf_counter() - started
+        finally:
+            await client.close()
+            await supervisor.stop()
+            await supervisor.terminate()
+    return _record(
+        "cluster_get_many",
+        {"ops": rounds * batch, "keys": keys, "seed": seed, "batch": batch,
+         "nodes": nodes},
+        samples, wall, rounds * batch,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
@@ -377,6 +429,7 @@ def main(argv=None) -> int:
             bench_set_rtt,
             bench_pooled_throughput,
             bench_multiget_batch,
+            bench_cluster_multiget,
         ):
             record = await bench(scale["ops"], scale["keys"], args.seed)
             records.append(record)

@@ -1,0 +1,269 @@
+"""Cluster supervisor: N independent ``cli serve`` children, one ring.
+
+The cluster tier deliberately has no inter-node protocol — exactly like
+a memcached fleet, the nodes never talk to each other and all smarts
+live in the client's ring.  What the supervisor provides is the
+operational discipline around that:
+
+* **Disjoint resources** — every node gets its own port (bound by the
+  child itself via ``--port 0``, so no TOCTOU race on free ports) and
+  its own journal directory (``<workdir>/node<i>/journal``); nothing is
+  shared, so one node's crash or corruption cannot reach another's
+  state.
+* **Shared seed discipline** — node *i* runs with seed
+  ``derive_seed(cluster_seed, "cluster-node<i>")``: per-node streams are
+  independent but the whole fleet is a pure function of one seed.
+* **Stable identity across restarts** — a node's id (``node<i>``) and
+  journal directory never change, and a restart rebinds the port the
+  node first learned, so the client's ring (keyed by node id) and its
+  address book both stay valid across a SIGKILL/restart cycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.rng import derive_seed
+
+_SERVING_RE = re.compile(rb"serving memcached protocol on ([\d.]+):(\d+)")
+
+
+@dataclass
+class ClusterNodeConfig:
+    """Everything one serve child needs; built by :class:`ClusterConfig`."""
+
+    node_id: str
+    index: int
+    seed: int
+    journal_dir: str
+    host: str = "127.0.0.1"
+    capacity: int = 8 * 1024 * 1024
+    shards: int = 2
+    fsync: str = "always"
+    segment_bytes: int = 1 << 20
+    checkpoint_bytes: int = 4 << 20
+    start_timeout: float = 30.0
+    extra_args: Tuple[str, ...] = ()
+
+
+@dataclass
+class ClusterConfig:
+    """One homogeneous N-node cluster."""
+
+    nodes: int = 3
+    seed: int = 0
+    workdir: str = ""
+    host: str = "127.0.0.1"
+    capacity: int = 8 * 1024 * 1024
+    shards: int = 2
+    fsync: str = "always"
+    segment_bytes: int = 1 << 20
+    checkpoint_bytes: int = 4 << 20
+    start_timeout: float = 30.0
+    extra_args: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if not self.workdir:
+            raise ValueError("workdir is required")
+        if self.fsync not in ("always", "interval", "never"):
+            raise ValueError(f"unknown fsync policy {self.fsync!r}")
+
+    def node_config(self, index: int) -> ClusterNodeConfig:
+        node_id = f"node{index}"
+        return ClusterNodeConfig(
+            node_id=node_id,
+            index=index,
+            seed=derive_seed(self.seed, f"cluster-{node_id}"),
+            journal_dir=os.path.join(self.workdir, node_id, "journal"),
+            host=self.host,
+            capacity=self.capacity,
+            shards=self.shards,
+            fsync=self.fsync,
+            segment_bytes=self.segment_bytes,
+            checkpoint_bytes=self.checkpoint_bytes,
+            start_timeout=self.start_timeout,
+            extra_args=self.extra_args,
+        )
+
+
+class NodeProcess:
+    """One serve child: spawn, learn/rebind its port, kill or drain."""
+
+    def __init__(self, config: ClusterNodeConfig) -> None:
+        self.config = config
+        self.node_id = config.node_id
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        #: Learned on first start; reused on every restart so the
+        #: cluster's address book survives kill/restart cycles.
+        self.port: Optional[int] = None
+        self.output: List[bytes] = []
+        self._pump: Optional[asyncio.Task] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.port is not None, "node not started"
+        return (self.config.host, self.port)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
+    async def start(self) -> int:
+        """Spawn the child; first start binds ``--port 0`` and learns the
+        port, restarts rebind the learned port (retrying briefly in case
+        the dead process's socket lingers in TIME_WAIT)."""
+        attempts = 1 if self.port is None else 10
+        last_text = ""
+        for attempt in range(attempts):
+            try:
+                return await self._spawn(self.port or 0)
+            except RuntimeError:
+                last_text = self.text()
+                if attempt + 1 == attempts:
+                    raise
+                await asyncio.sleep(0.2)
+        raise RuntimeError(f"node {self.node_id} failed to bind: {last_text}")
+
+    async def _spawn(self, port: int) -> int:
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        config = self.config
+        self.output = []
+        self.proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--host", config.host,
+            "--port", str(port),
+            "--seed", str(config.seed),
+            "--capacity", str(config.capacity),
+            "--shards", str(config.shards),
+            "--journal-dir", config.journal_dir,
+            "--fsync", config.fsync,
+            "--journal-segment-bytes", str(config.segment_bytes),
+            "--checkpoint-bytes", str(config.checkpoint_bytes),
+            "--read-timeout", "10.0",
+            "--drain-deadline", "10.0",
+            *config.extra_args,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+            env=env,
+        )
+        learned = await asyncio.wait_for(
+            self._await_port(), config.start_timeout
+        )
+        self.port = learned
+        self._pump = asyncio.get_running_loop().create_task(self._drain_output())
+        return learned
+
+    async def _await_port(self) -> int:
+        assert self.proc is not None and self.proc.stdout is not None
+        while True:
+            line = await self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"node {self.node_id} exited before binding: "
+                    + b"".join(self.output).decode(errors="replace")
+                )
+            self.output.append(line)
+            match = _SERVING_RE.search(line)
+            if match:
+                return int(match.group(2))
+
+    async def _drain_output(self) -> None:
+        assert self.proc is not None and self.proc.stdout is not None
+        while True:
+            line = await self.proc.stdout.readline()
+            if not line:
+                return
+            self.output.append(line)
+
+    async def kill(self) -> None:
+        """SIGKILL the node (chaos path)."""
+        assert self.proc is not None
+        try:
+            self.proc.kill()
+        except ProcessLookupError:
+            pass
+        await self.proc.wait()
+        await self._finish_pump()
+
+    async def drain(self) -> int:
+        """Graceful SIGTERM; returns the exit code."""
+        assert self.proc is not None
+        try:
+            self.proc.send_signal(signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+        code = await self.proc.wait()
+        await self._finish_pump()
+        return code
+
+    async def _finish_pump(self) -> None:
+        if self._pump is not None:
+            try:
+                await asyncio.wait_for(self._pump, 5.0)
+            except (asyncio.TimeoutError, TimeoutError):
+                self._pump.cancel()
+            self._pump = None
+
+    def text(self) -> str:
+        return b"".join(self.output).decode(errors="replace")
+
+
+class ClusterSupervisor:
+    """Spawn and manage the fleet; the address book for clients."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        config.validate()
+        self.config = config
+        self.nodes: List[NodeProcess] = [
+            NodeProcess(config.node_config(index))
+            for index in range(config.nodes)
+        ]
+
+    async def start(self) -> Dict[str, Tuple[str, int]]:
+        """Start every node (concurrently) and return the address book."""
+        await asyncio.gather(*(node.start() for node in self.nodes))
+        return self.addresses()
+
+    def addresses(self) -> Dict[str, Tuple[str, int]]:
+        return {node.node_id: node.address for node in self.nodes}
+
+    def node(self, node_id: str) -> NodeProcess:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    async def stop(self) -> Dict[str, int]:
+        """Drain every live node; returns node id -> exit code."""
+        codes: Dict[str, int] = {}
+        for node in self.nodes:
+            if node.proc is None:
+                continue
+            if node.alive:
+                codes[node.node_id] = await node.drain()
+            else:
+                codes[node.node_id] = (
+                    node.proc.returncode
+                    if node.proc.returncode is not None
+                    else -1
+                )
+        return codes
+
+    async def terminate(self) -> None:
+        """SIGKILL everything still running (cleanup path, not graceful)."""
+        for node in self.nodes:
+            if node.alive:
+                await node.kill()

@@ -18,6 +18,7 @@ from repro.core.snapshot import (
     SnapshotError,
     load_snapshot,
     read_snapshot,
+    read_snapshot_meta,
     write_snapshot,
 )
 from repro.core.stats import ZExpanderStats
@@ -37,6 +38,7 @@ __all__ = [
     "ZExpanderStats",
     "load_snapshot",
     "read_snapshot",
+    "read_snapshot_meta",
     "replay_trace",
     "write_snapshot",
 ]

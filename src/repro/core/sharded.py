@@ -68,8 +68,14 @@ class ShardedZExpander:
     def get(self, key: bytes) -> Optional[bytes]:
         return self.shard_for(key).get(key)
 
-    def set(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
-        self.shard_for(key).set(key, value, ttl=ttl)
+    def set(
+        self,
+        key: bytes,
+        value: bytes,
+        ttl: Optional[float] = None,
+        flags: int = 0,
+    ) -> None:
+        self.shard_for(key).set(key, value, ttl=ttl, flags=flags)
 
     def delete(self, key: bytes) -> bool:
         return self.shard_for(key).delete(key)

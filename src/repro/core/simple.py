@@ -36,12 +36,12 @@ class SimpleKVCache:
             self.stats.get_misses += 1
         return value
 
-    def set(self, key: bytes, value: bytes) -> None:
+    def set(self, key: bytes, value: bytes, flags: int = 0) -> None:
         self.stats.sets += 1
         self.stats.serviced_nzone += 1
         self.nzone.set(key, value)
         if self.journal is not None:
-            self.journal.append_set(key, value)
+            self.journal.append_set(key, value, flags)
 
     def delete(self, key: bytes) -> bool:
         self.stats.deletes += 1

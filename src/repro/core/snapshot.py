@@ -11,6 +11,12 @@ big-endian key length, 4-byte value length, key bytes, value bytes.  No
 pickling — the format is independent of Python versions and safe to load
 from untrusted sources (lengths are bounds-checked).
 
+Format (version 2, magic ``ZXSNAP02``): identical except each record
+carries a 4-byte big-endian client-``flags`` word between the two
+lengths and the key.  Version 2 is only written when the caller passes a
+flags source (the server's item-meta sidecar); flag-free snapshots stay
+byte-identical to version 1, and both versions load everywhere.
+
 Crash safety: writing to a path goes through ``<path>.tmp`` with a
 flush+fsync before an atomic ``os.replace``, followed by an fsync of the
 parent directory so the rename itself survives power loss (see
@@ -31,7 +37,9 @@ from typing import BinaryIO, Iterator, Optional, Tuple, Union
 from repro.common.fsio import atomic_write
 
 MAGIC = b"ZXSNAP01"
+MAGIC_V2 = b"ZXSNAP02"
 _LENGTHS = struct.Struct(">II")
+_LENGTHS_V2 = struct.Struct(">III")
 #: Sanity bound: no key or value above 256 MiB.
 _MAX_FIELD = 256 * 1024 * 1024
 
@@ -66,8 +74,15 @@ def _iter_cache_items(cache) -> Iterator[Tuple[bytes, bytes]]:
         yield from cache.items()
 
 
-def write_snapshot(cache, destination: Union[PathLike, BinaryIO]) -> int:
+def write_snapshot(
+    cache, destination: Union[PathLike, BinaryIO], meta=None
+) -> int:
     """Serialise ``cache``'s items; returns the item count written.
+
+    ``meta`` (anything with ``flags_of(key) -> int``, e.g. the server's
+    :class:`~repro.server.meta.ItemMetaStore`) switches the file to the
+    version-2 format so per-item client flags survive the round trip;
+    without it the output is a byte-identical version-1 snapshot.
 
     Writing to a *path* is crash-safe: the bytes land in
     ``<destination>.tmp`` first, are flushed and fsynced, and only then
@@ -78,15 +93,22 @@ def write_snapshot(cache, destination: Union[PathLike, BinaryIO]) -> int:
     is left to the caller.
     """
     if hasattr(destination, "write"):
-        return _write_stream(cache, destination)
-    return atomic_write(destination, lambda stream: _write_stream(cache, stream))
+        return _write_stream(cache, destination, meta)
+    return atomic_write(
+        destination, lambda stream: _write_stream(cache, stream, meta)
+    )
 
 
-def _write_stream(cache, stream: BinaryIO) -> int:
-    stream.write(MAGIC)
+def _write_stream(cache, stream: BinaryIO, meta=None) -> int:
+    stream.write(MAGIC if meta is None else MAGIC_V2)
     count = 0
     for key, value in _iter_cache_items(cache):
-        stream.write(_LENGTHS.pack(len(key), len(value)))
+        if meta is None:
+            stream.write(_LENGTHS.pack(len(key), len(value)))
+        else:
+            stream.write(
+                _LENGTHS_V2.pack(len(key), len(value), meta.flags_of(key))
+            )
         stream.write(key)
         stream.write(value)
         count += 1
@@ -130,11 +152,21 @@ def read_snapshot(
 ) -> Iterator[Tuple[bytes, bytes]]:
     """Yield (key, value) pairs from a snapshot; validates the format.
 
-    With ``strict=False`` a malformed *tail* (truncated header or body,
-    implausible lengths) ends the iteration instead of raising; a bad
-    magic still raises — a file that never was a snapshot should not
-    silently load as an empty one.
+    Reads both format versions (version-2 flags are dropped — use
+    :func:`read_snapshot_meta` to see them).  With ``strict=False`` a
+    malformed *tail* (truncated header or body, implausible lengths)
+    ends the iteration instead of raising; a bad magic still raises — a
+    file that never was a snapshot should not silently load as an empty
+    one.
     """
+    for key, value, _flags in read_snapshot_meta(source, strict):
+        yield key, value
+
+
+def read_snapshot_meta(
+    source: Union[PathLike, BinaryIO], strict: bool = True
+) -> Iterator[Tuple[bytes, bytes, int]]:
+    """Yield (key, value, flags) triples; version-1 files yield flags=0."""
     sink: list = []
     if hasattr(source, "read"):
         yield from _read_stream(source, strict, sink)
@@ -145,11 +177,12 @@ def read_snapshot(
 
 def _read_stream(
     stream: BinaryIO, strict: bool = True, damage: Optional[list] = None
-) -> Iterator[Tuple[bytes, bytes]]:
+) -> Iterator[Tuple[bytes, bytes, int]]:
     """Core reader; appends one error string to ``damage`` on a bad tail."""
     magic = stream.read(len(MAGIC))
-    if magic != MAGIC:
+    if magic not in (MAGIC, MAGIC_V2):
         raise SnapshotError(f"bad snapshot magic: {magic!r}")
+    lengths = _LENGTHS if magic == MAGIC else _LENGTHS_V2
 
     def fail(message: str):
         if strict:
@@ -158,13 +191,17 @@ def _read_stream(
             damage.append(message)
 
     while True:
-        header = stream.read(_LENGTHS.size)
+        header = stream.read(lengths.size)
         if not header:
             return
-        if len(header) != _LENGTHS.size:
+        if len(header) != lengths.size:
             fail("truncated item header")
             return
-        key_len, value_len = _LENGTHS.unpack(header)
+        flags = 0
+        if lengths is _LENGTHS:
+            key_len, value_len = lengths.unpack(header)
+        else:
+            key_len, value_len, flags = lengths.unpack(header)
         if key_len > _MAX_FIELD or value_len > _MAX_FIELD:
             fail(f"implausible field lengths {key_len}/{value_len}")
             return
@@ -173,17 +210,25 @@ def _read_stream(
         if len(key) != key_len or len(value) != value_len:
             fail("truncated item body")
             return
-        yield key, value
+        yield key, value, flags
 
 
 def load_snapshot(
-    cache, source: Union[PathLike, BinaryIO], strict: bool = True
+    cache,
+    source: Union[PathLike, BinaryIO],
+    strict: bool = True,
+    meta=None,
 ) -> LoadResult:
     """Re-insert a snapshot's items into ``cache``; returns the count.
 
     Items are SET in file order (cold Z-zone items first, hot N-zone
     items last) so a two-zone cache re-forms roughly the same hot/cold
     split it had at dump time.
+
+    ``meta`` (anything with ``on_set(key, flags)``) receives each item's
+    client flags — the server passes its sidecar here so a version-2
+    snapshot restores flags alongside values.  Loading a version-1 file
+    with a ``meta`` records flags=0 for every item.
 
     ``strict=False`` is the warm-restart recovery mode: a truncated tail
     stops the load instead of raising, the partial record is counted in
@@ -193,15 +238,19 @@ def load_snapshot(
     """
     damage: list = []
     count = 0
-    if hasattr(source, "read"):
-        iterator = _read_stream(source, strict, damage)
-        for key, value in iterator:
+
+    def ingest(iterator) -> None:
+        nonlocal count
+        for key, value, flags in iterator:
             cache.set(key, value)
+            if meta is not None:
+                meta.on_set(key, flags)
             count += 1
+
+    if hasattr(source, "read"):
+        ingest(_read_stream(source, strict, damage))
     else:
         with open(source, "rb") as stream:
-            for key, value in _read_stream(stream, strict, damage):
-                cache.set(key, value)
-                count += 1
+            ingest(_read_stream(stream, strict, damage))
     error = damage[0] if damage else None
     return LoadResult(count, skipped=1 if error else 0, error=error)

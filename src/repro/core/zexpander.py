@@ -125,12 +125,21 @@ class ZExpander:
             self._promote(key, hashed, zvalue)
         return zvalue
 
-    def set(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+    def set(
+        self,
+        key: bytes,
+        value: bytes,
+        ttl: Optional[float] = None,
+        flags: int = 0,
+    ) -> None:
         """Insert or update ``key``; always admitted by the N-zone.
 
         ``ttl`` (seconds) bounds the item's lifetime; omitting it on an
         overwrite clears any previous TTL, matching memcached semantics
-        where every SET carries its own exptime.
+        where every SET carries its own exptime.  ``flags`` is opaque
+        client metadata the cache itself does not store (the server's
+        sidecar does) — it is accepted here only so the write-through
+        journal records it for recovery.
         """
         self._housekeeping()
         self.stats.sets += 1
@@ -152,7 +161,7 @@ class ZExpander:
         # Journal only after the in-memory write succeeded: a rolled-back
         # SET was never acknowledged and must not resurrect at recovery.
         if self.journal is not None:
-            self.journal.append_set(key, value)
+            self.journal.append_set(key, value, flags)
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key`` from both zones (§3)."""

@@ -19,10 +19,13 @@ the per-policy loss bounds.
 from repro.durability.journal import (
     OP_DELETE,
     OP_SET,
+    OP_SET_FLAGS,
     DurabilityStats,
     JournalConfig,
     JournalWriter,
     SegmentScan,
+    decode_payload,
+    decode_payload_meta,
     encode_record,
     list_segments,
     read_segment,
@@ -39,6 +42,7 @@ from repro.durability.scrub import ScrubReport, scrub_directory
 __all__ = [
     "OP_DELETE",
     "OP_SET",
+    "OP_SET_FLAGS",
     "DurabilityConfig",
     "DurabilityManager",
     "DurabilityStats",
@@ -47,6 +51,8 @@ __all__ = [
     "RecoveryResult",
     "ScrubReport",
     "SegmentScan",
+    "decode_payload",
+    "decode_payload_meta",
     "encode_record",
     "list_checkpoints",
     "list_segments",

@@ -20,8 +20,12 @@ Wire format (segment version 1): an 8-byte magic, then per record::
     [4-byte BE payload length][payload][4-byte BE CRC32(payload)]
     payload = [1-byte op][4-byte BE key length][key bytes][value bytes]
 
-Ops are ``S`` (set) and ``D`` (delete, empty value).  Lengths are
-bounds-checked before allocation, same as the snapshot reader.
+Ops are ``S`` (set), ``D`` (delete, empty value), and ``F`` (set with
+client flags — a 4-byte BE flags word between the key and the value;
+plain ``S`` is still written when flags are zero, so journals without
+flagged items are byte-identical to the version-1 format and readable
+by older tooling).  Lengths are bounds-checked before allocation, same
+as the snapshot reader.
 
 Fsync policy decides the loss bound on *power* failure (a SIGKILL loses
 nothing past the OS write() in any mode, because every append is flushed
@@ -51,6 +55,8 @@ SEGMENT_MAGIC = b"ZXWAL001"
 
 OP_SET = 0x53  # b"S"
 OP_DELETE = 0x44  # b"D"
+#: A SET carrying a non-zero client-flags word (4 bytes BE after the key).
+OP_SET_FLAGS = 0x46  # b"F"
 
 _FRAME_LEN = struct.Struct(">I")
 _PAYLOAD_HEAD = struct.Struct(">BI")
@@ -96,16 +102,33 @@ def list_segments(directory: str) -> List[Tuple[int, str]]:
 # -- record codec ---------------------------------------------------------------
 
 
-def encode_payload(op: int, key: bytes, value: bytes = b"") -> bytes:
-    """The unframed record payload (shared with the replication stream)."""
-    if op not in (OP_SET, OP_DELETE):
+def encode_payload(
+    op: int, key: bytes, value: bytes = b"", flags: int = 0
+) -> bytes:
+    """The unframed record payload (shared with the replication stream).
+
+    A SET with non-zero ``flags`` is encoded as :data:`OP_SET_FLAGS`
+    regardless of the ``op`` argument; zero-flag SETs stay plain
+    :data:`OP_SET` so unflagged journals match the v1 format byte for
+    byte.
+    """
+    if op not in (OP_SET, OP_DELETE, OP_SET_FLAGS):
         raise ValueError(f"unknown journal op {op:#x}")
-    return _PAYLOAD_HEAD.pack(op, len(key)) + key + value
+    if op == OP_DELETE and flags:
+        raise ValueError("delete records carry no flags")
+    if flags and op == OP_SET:
+        op = OP_SET_FLAGS
+    head = _PAYLOAD_HEAD.pack(op, len(key)) + key
+    if op == OP_SET_FLAGS:
+        return head + _FRAME_LEN.pack(flags) + value
+    return head + value
 
 
-def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+def encode_record(
+    op: int, key: bytes, value: bytes = b"", flags: int = 0
+) -> bytes:
     """One framed journal record, CRC included."""
-    payload = encode_payload(op, key, value)
+    payload = encode_payload(op, key, value, flags)
     return (
         _FRAME_LEN.pack(len(payload))
         + payload
@@ -113,19 +136,41 @@ def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
     )
 
 
-def decode_payload(payload: bytes) -> Tuple[int, bytes, bytes]:
-    """(op, key, value) from a CRC-verified payload; raises JournalError."""
+def decode_payload_meta(payload: bytes) -> Tuple[int, bytes, bytes, int]:
+    """(op, key, value, flags) from a CRC-verified payload.
+
+    ``op`` is normalised: :data:`OP_SET_FLAGS` records come back as
+    :data:`OP_SET` with their flags word extracted, so every consumer
+    dispatches on exactly two ops.  Raises JournalError on damage.
+    """
     if len(payload) < _PAYLOAD_HEAD.size:
         raise JournalError("record payload shorter than its fixed header")
     op, key_len = _PAYLOAD_HEAD.unpack_from(payload)
-    if op not in (OP_SET, OP_DELETE):
+    if op not in (OP_SET, OP_DELETE, OP_SET_FLAGS):
         raise JournalError(f"unknown journal op {op:#x}")
     if key_len > _MAX_FIELD or _PAYLOAD_HEAD.size + key_len > len(payload):
         raise JournalError(f"implausible key length {key_len}")
     key = payload[_PAYLOAD_HEAD.size : _PAYLOAD_HEAD.size + key_len]
-    value = payload[_PAYLOAD_HEAD.size + key_len :]
-    if op == OP_DELETE and value:
+    rest = payload[_PAYLOAD_HEAD.size + key_len :]
+    flags = 0
+    if op == OP_SET_FLAGS:
+        if len(rest) < _FRAME_LEN.size:
+            raise JournalError("flagged set record missing its flags word")
+        (flags,) = _FRAME_LEN.unpack_from(rest)
+        rest = rest[_FRAME_LEN.size :]
+        op = OP_SET
+    if op == OP_DELETE and rest:
         raise JournalError("delete record carries a value")
+    return op, key, rest, flags
+
+
+def decode_payload(payload: bytes) -> Tuple[int, bytes, bytes]:
+    """(op, key, value) from a CRC-verified payload; raises JournalError.
+
+    Flags-unaware compatibility surface: flagged SETs decode as plain
+    :data:`OP_SET` with the flags word stripped.
+    """
+    op, key, value, _flags = decode_payload_meta(payload)
     return op, key, value
 
 
@@ -149,8 +194,14 @@ class SegmentScan:
 def read_segment(
     path: str,
     apply: Optional[Callable[[int, bytes, bytes], None]] = None,
+    apply_meta: Optional[Callable[[int, bytes, bytes, int], None]] = None,
 ) -> SegmentScan:
     """Walk a segment, calling ``apply(op, key, value)`` per valid record.
+
+    Flags-aware consumers pass ``apply_meta(op, key, value, flags)``
+    instead (recovery restores the server's flags sidecar this way);
+    ``op`` is normalised either way, so both callbacks dispatch on
+    SET/DELETE only.
 
     Never raises for damage: the scan stops at the first short or
     CRC-failing record and reports it in the returned :class:`SegmentScan`.
@@ -165,12 +216,16 @@ def read_segment(
             scan.damaged_bytes = size
             return scan
         scan.valid_bytes = len(SEGMENT_MAGIC)
-        for op, key, value, end_offset, error in _iter_frames(stream, scan.valid_bytes):
+        for op, key, value, flags, end_offset, error in _iter_frames(
+            stream, scan.valid_bytes
+        ):
             if error is not None:
                 scan.error = error
                 scan.damaged_bytes = size - scan.valid_bytes
                 return scan
-            if apply is not None:
+            if apply_meta is not None:
+                apply_meta(op, key, value, flags)
+            elif apply is not None:
                 apply(op, key, value)
             scan.records += 1
             scan.valid_bytes = end_offset
@@ -179,39 +234,41 @@ def read_segment(
 
 def _iter_frames(
     stream: BinaryIO, offset: int
-) -> Iterator[Tuple[int, bytes, bytes, int, Optional[str]]]:
-    """Yield (op, key, value, end_offset, error); error terminates."""
+) -> Iterator[Tuple[int, bytes, bytes, int, int, Optional[str]]]:
+    """Yield (op, key, value, flags, end_offset, error); error terminates."""
     while True:
         header = stream.read(_FRAME_LEN.size)
         if not header:
             return
         if len(header) != _FRAME_LEN.size:
-            yield 0, b"", b"", offset, "torn record length header"
+            yield 0, b"", b"", 0, offset, "torn record length header"
             return
         (payload_len,) = _FRAME_LEN.unpack(header)
         if payload_len > _MAX_PAYLOAD:
-            yield 0, b"", b"", offset, f"implausible payload length {payload_len}"
+            yield 0, b"", b"", 0, offset, (
+                f"implausible payload length {payload_len}"
+            )
             return
         payload = stream.read(payload_len)
         trailer = stream.read(_FRAME_LEN.size)
         if len(payload) != payload_len or len(trailer) != _FRAME_LEN.size:
-            yield 0, b"", b"", offset, "torn record body"
+            yield 0, b"", b"", 0, offset, "torn record body"
             return
         (stored_crc,) = _FRAME_LEN.unpack(trailer)
         actual_crc = zlib.crc32(payload)
         if stored_crc != actual_crc:
-            yield 0, b"", b"", offset, (
+            yield 0, b"", b"", 0, offset, (
                 f"record CRC mismatch: stored {stored_crc:#010x}, "
                 f"computed {actual_crc:#010x}"
             )
             return
         try:
-            op, key, value = decode_payload(payload)
+            op, key, value, flags = decode_payload_meta(payload)
         except JournalError as exc:
-            yield 0, b"", b"", offset, str(exc)
+            yield 0, b"", b"", 0, offset, str(exc)
             return
         offset += _FRAME_LEN.size * 2 + payload_len
-        yield op, key, value, offset, None
+        yield op, key, value, flags, offset, None
 
 
 # -- the writer -----------------------------------------------------------------
@@ -360,8 +417,8 @@ class JournalWriter:
 
     # -- appends ---------------------------------------------------------------
 
-    def append_set(self, key: bytes, value: bytes) -> None:
-        self._append(encode_payload(OP_SET, key, value))
+    def append_set(self, key: bytes, value: bytes, flags: int = 0) -> None:
+        self._append(encode_payload(OP_SET, key, value, flags))
 
     def append_delete(self, key: bytes) -> None:
         self._append(encode_payload(OP_DELETE, key))

@@ -196,10 +196,15 @@ class DurabilityManager:
         self,
         config: DurabilityConfig,
         stats: Optional[DurabilityStats] = None,
+        meta=None,
     ) -> None:
         config.validate()
         self.config = config
         self.stats = stats if stats is not None else DurabilityStats()
+        #: Optional per-item metadata sidecar (``on_set``/``on_delete``/
+        #: ``flags_of``): checkpoints persist its flags (snapshot v2) and
+        #: recovery repopulates it.  CAS versions are never persisted.
+        self.meta = meta
         self.writer: Optional[JournalWriter] = None
         self._bytes_at_checkpoint = 0
         self.last_recovery: Optional[RecoveryResult] = None
@@ -209,7 +214,9 @@ class DurabilityManager:
 
     def recover_into(self, cache) -> RecoveryResult:
         """Rebuild ``cache`` from checkpoint + journal, then open the writer."""
-        result = replay_journal(self.config.directory, cache, stats=self.stats)
+        result = replay_journal(
+            self.config.directory, cache, stats=self.stats, meta=self.meta
+        )
         self.last_recovery = result
         # The new segment must sort after everything already covered: a
         # surviving checkpoint at seq S with no segments left (all
@@ -267,7 +274,7 @@ class DurabilityManager:
 
         def write_image(stream):
             crc_box = _Crc32Stream(stream)
-            count = write_snapshot(cache, crc_box)
+            count = write_snapshot(cache, crc_box, meta=self.meta)
             return count, crc_box.crc
 
         count, crc = atomic_write(path, write_image)
@@ -343,8 +350,13 @@ def replay_journal(
     directory: str,
     cache,
     stats: Optional[DurabilityStats] = None,
+    meta=None,
 ) -> RecoveryResult:
     """Point-in-time recovery: newest valid checkpoint + journal replay.
+
+    ``meta`` (``on_set(key, flags)``/``on_delete(key)``) receives each
+    restored item's client flags, repopulating the server's sidecar
+    alongside the cache.
 
     Pure function of the directory's contents; never raises for damage —
     every anomaly is counted, quarantined or truncated, and described in
@@ -365,7 +377,7 @@ def replay_journal(
                 result.quarantined.append(os.path.basename(path))
             continue
         try:
-            loaded = load_snapshot(cache, path, strict=False)
+            loaded = load_snapshot(cache, path, strict=False, meta=meta)
         except Exception as exc:
             result.incidents.append(
                 f"checkpoint {os.path.basename(path)} unreadable "
@@ -427,13 +439,17 @@ def replay_journal(
                 result.quarantined.append(os.path.basename(path))
             continue
 
-        def apply(op, key, value):
+        def apply(op, key, value, flags):
             if op == OP_SET:
                 cache.set(key, value)
+                if meta is not None:
+                    meta.on_set(key, flags)
             else:
                 cache.delete(key)
+                if meta is not None:
+                    meta.on_delete(key)
 
-        scan: SegmentScan = read_segment(path, apply)
+        scan: SegmentScan = read_segment(path, apply_meta=apply)
         result.replayed_segments += 1
         result.replayed_records += scan.records
         if scan.clean:

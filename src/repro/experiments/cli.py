@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments.cli chaos --server --seed 7
     python -m repro.experiments.cli chaos --crash --fsync always --seed 7
     python -m repro.experiments.cli chaos --replication --seed 7
+    python -m repro.experiments.cli chaos --cluster --nodes 3 --seed 7
     python -m repro.experiments.cli serve --port 11311 --snapshot cache.snap
     python -m repro.experiments.cli serve --port 11311 --journal-dir ./wal
     python -m repro.experiments.cli serve --port 11311 --journal-dir ./wal --repl-port 11411
@@ -29,7 +30,12 @@ under ``--fsync always``; ``chaos --replication`` runs a primary/replica
 pair under load while partitioning/stalling/resetting the replication
 link, forcing snapshot resyncs, killing the primary, and promoting the
 replica — judging wrong bytes, stale reads beyond the advertised lag
-bound, and acked-write loss after promotion as fatal.  ``serve`` runs
+bound, and acked-write loss after promotion as fatal; ``chaos
+--cluster`` SIGKILLs nodes of a consistent-hash cluster under
+ring-routed load, verifying the outage stays confined to the dead
+node's arc and that a restarted node resumes exactly its old keys.
+``cluster`` spawns N independent serve children (disjoint ports and
+journal dirs, one derived seed each) behind one hash ring.  ``serve`` runs
 the memcached-protocol server (SIGTERM drains gracefully;
 ``--journal-dir`` arms crash-consistent durability; ``--repl-port``
 streams the journal to replicas; ``--role replica`` follows a primary);
@@ -184,6 +190,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeded link-chaos rounds before the kill/promote rounds "
         "(--replication mode only)",
     )
+    chaos_parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="node-kill campaign over a consistent-hash cluster: SIGKILL "
+        "a seeded-chosen node under ring-routed load, verify the outage "
+        "stays confined to its arc, restart it, and judge recovery and "
+        "ring ownership",
+    )
+    chaos_parser.add_argument(
+        "--nodes",
+        type=int,
+        default=3,
+        help="cluster size (--cluster mode only)",
+    )
+    chaos_parser.add_argument(
+        "--kill-points",
+        type=int,
+        default=4,
+        help="seeded node-kill rounds (--cluster mode only)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the memcached-protocol server over a sharded zExpander"
@@ -311,6 +337,35 @@ def build_parser() -> argparse.ArgumentParser:
         "every GET",
     )
 
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="spawn N independent serve children behind one consistent-"
+        "hash keyspace (SIGTERM drains the whole fleet)",
+    )
+    cluster_parser.add_argument("--nodes", type=int, default=3)
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="cache bytes per node",
+    )
+    cluster_parser.add_argument("--shards", type=int, default=4)
+    cluster_parser.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="per-node journal dirs live under DIR/node<i>/ "
+        "(default: a fresh temp dir)",
+    )
+    cluster_parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="journal fsync policy for every node",
+    )
+
     promote_parser = subparsers.add_parser(
         "promote",
         help="promote a running replica to primary (consensus-free "
@@ -406,6 +461,26 @@ def _load_plan(path):
 def run_chaos_command(args) -> int:
     from repro.faults.chaos import run_chaos
 
+    if args.cluster:
+        from repro.cluster.chaos import run_cluster_chaos
+
+        # Same budget discipline as --crash: --requests is campaign-wide,
+        # spread over every kill round.
+        per_conn = max(
+            1, args.requests // (args.connections * max(1, args.kill_points))
+        )
+        report = run_cluster_chaos(
+            seed=args.seed,
+            nodes=args.nodes,
+            kill_points=args.kill_points,
+            connections=args.connections,
+            requests_per_conn=per_conn,
+            keys_per_conn=max(1, args.keys // args.connections),
+            fsync=args.fsync,
+        )
+        print(report.render())
+        print(report.render_metrics(), file=sys.stderr)
+        return 0 if report.ok else 1
     if args.replication:
         from repro.server.replchaos import run_replication_chaos
 
@@ -581,6 +656,79 @@ def run_serve_command(args) -> int:
     return asyncio.run(serve())
 
 
+def run_cluster_command(args) -> int:
+    import asyncio
+    import signal
+    import tempfile
+
+    from repro.cluster.procs import ClusterConfig, ClusterSupervisor
+
+    if args.nodes < 1:
+        print("error: --nodes must be >= 1", file=sys.stderr)
+        return 2
+    workdir = args.workdir or tempfile.mkdtemp(prefix="zx-cluster-")
+    supervisor = ClusterSupervisor(
+        ClusterConfig(
+            nodes=args.nodes,
+            seed=args.seed,
+            workdir=workdir,
+            host=args.host,
+            capacity=args.capacity,
+            shards=args.shards,
+            fsync=args.fsync,
+        )
+    )
+
+    async def run() -> int:
+        try:
+            addresses = await supervisor.start()
+        except (RuntimeError, OSError) as exc:
+            print(f"error: cluster start failed: {exc}", file=sys.stderr)
+            await supervisor.terminate()
+            return 2
+        for node_id in sorted(addresses):
+            host, port = addresses[node_id]
+            print(f"node {node_id}: {host}:{port}", flush=True)
+        print(
+            f"cluster up: {args.nodes} nodes, workdir {workdir} — "
+            "SIGTERM drains the fleet",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        # Exit early (and loudly) if any child dies underneath us.
+        waiters = {
+            asyncio.ensure_future(node.proc.wait()): node
+            for node in supervisor.nodes
+        }
+
+        async def watch_children() -> None:
+            done, _pending = await asyncio.wait(
+                waiters, return_when=asyncio.FIRST_COMPLETED
+            )
+            node = waiters[done.pop()]
+            print(
+                f"error: {node.node_id} exited unexpectedly "
+                f"(code {node.proc.returncode})",
+                file=sys.stderr,
+            )
+            stop.set()
+
+        watcher = asyncio.create_task(watch_children())
+        await stop.wait()
+        watcher.cancel()
+        for future in waiters:
+            future.cancel()
+        codes = await supervisor.stop()
+        for node_id in sorted(codes):
+            print(f"drained {node_id}: exit {codes[node_id]}", flush=True)
+        return 0 if all(code == 0 for code in codes.values()) else 1
+
+    return asyncio.run(run())
+
+
 def render_stats(stats: Dict[str, str], fmt: str) -> str:
     """Render a ``stats`` reply as kv lines, JSON, or Prometheus text."""
     if fmt == "json":
@@ -703,6 +851,8 @@ def main(argv=None) -> int:
         return run_chaos_command(args)
     if args.command == "serve":
         return run_serve_command(args)
+    if args.command == "cluster":
+        return run_cluster_command(args)
     if args.command == "loadgen":
         return run_loadgen_command(args)
     if args.command == "stats":

@@ -32,8 +32,8 @@ import time
 from typing import Optional, Tuple
 
 from repro.common.errors import CacheError, ReplicationError
-from repro.core.snapshot import _iter_cache_items, read_snapshot
-from repro.durability.journal import OP_SET, decode_payload
+from repro.core.snapshot import _iter_cache_items, read_snapshot_meta
+from repro.durability.journal import OP_SET, decode_payload_meta
 from repro.durability.manager import replay_journal
 from repro.replication import wire
 from repro.replication.stats import ReplicationStats
@@ -60,8 +60,13 @@ class ReplicationClient:
         reconnect_cap: float = 2.0,
         silence_timeout: float = 5.0,
         rng: Optional[random.Random] = None,
+        meta=None,
     ) -> None:
         self.cache = cache
+        #: Optional flags/CAS sidecar (the server's ItemMetaStore):
+        #: applied records and resync images repopulate it so a promoted
+        #: replica serves the same flags its primary did.
+        self.meta = meta
         self.host = host
         self.port = port
         self.stats = stats if stats is not None else ReplicationStats()
@@ -271,12 +276,16 @@ class ReplicationClient:
         self.stats.acks_sent += 1
 
     def _apply_payload(self, payload: bytes) -> None:
-        op, key, value = decode_payload(payload)
+        op, key, value, flags = decode_payload_meta(payload)
         try:
             if op == OP_SET:
-                self.cache.set(key, value)
+                self.cache.set(key, value, flags=flags)
+                if self.meta is not None:
+                    self.meta.on_set(key, flags)
             else:
                 self.cache.delete(key)
+                if self.meta is not None:
+                    self.meta.on_delete(key)
         except CacheError:
             self.stats.apply_errors += 1
 
@@ -285,12 +294,16 @@ class ReplicationClient:
         import io
 
         loaded_keys = set()
-        for key, value in read_snapshot(io.BytesIO(image), strict=True):
+        for key, value, flags in read_snapshot_meta(
+            io.BytesIO(image), strict=True
+        ):
             try:
-                self.cache.set(key, value)
+                self.cache.set(key, value, flags=flags)
             except CacheError:
                 self.stats.apply_errors += 1
                 continue
+            if self.meta is not None:
+                self.meta.on_set(key, flags)
             loaded_keys.add(key)
         stale = [
             key
@@ -302,13 +315,15 @@ class ReplicationClient:
                 self.cache.delete(key)
             except CacheError:
                 self.stats.apply_errors += 1
+            if self.meta is not None:
+                self.meta.on_delete(key)
 
 
 # -- promotion catch-up ----------------------------------------------------------
 
 
 def catch_up_from_directory(
-    cache, directory: str, position: Tuple[int, int]
+    cache, directory: str, position: Tuple[int, int], meta=None
 ) -> Tuple[int, str]:
     """Apply the dead primary's on-disk journal from ``position``.
 
@@ -328,12 +343,17 @@ def catch_up_from_directory(
                 batch = tailer.read_batch(1024)
                 if not batch:
                     return total, "tail"
-                for op, key, value, _payload, _seg, _end in batch:
+                for op, key, value, payload, _seg, _end in batch:
                     try:
                         if op == OP_SET:
-                            cache.set(key, value)
+                            flags = decode_payload_meta(payload)[3]
+                            cache.set(key, value, flags=flags)
+                            if meta is not None:
+                                meta.on_set(key, flags)
                         else:
                             cache.delete(key)
+                            if meta is not None:
+                                meta.on_delete(key)
                     except CacheError:
                         pass
                     total += 1
@@ -349,5 +369,7 @@ def catch_up_from_directory(
             cache.delete(key)
         except CacheError:
             pass
-    result = replay_journal(directory, cache)
+    if meta is not None:
+        meta.clear()
+    result = replay_journal(directory, cache, meta=meta)
     return result.checkpoint_loaded + result.replayed_records, "full"

@@ -247,7 +247,9 @@ class ReplicationSource:
         session.drop_live()
         position = self.manager.writer.position
         buffer = io.BytesIO()
-        count = write_snapshot(self.cache, buffer)
+        # The manager's meta sidecar (when the server wired one) rides
+        # along as a v2 image, so a resync restores client flags too.
+        count = write_snapshot(self.cache, buffer, meta=self.manager.meta)
         image = buffer.getvalue()
         session.reset_stream_counters()
         writer.write(

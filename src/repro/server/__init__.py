@@ -27,8 +27,10 @@ from repro.server.client import (
     RetryPolicy,
 )
 from repro.server.loadgen import LoadConfig, LoadReport, run_loadgen
+from repro.server.meta import ItemMetaStore
 from repro.server.protocol import (
     DEFAULT_MAX_VALUE_BYTES,
+    EXPTIME_ABSOLUTE_THRESHOLD,
     MAX_KEY_BYTES,
     BadCommand,
     Command,
@@ -45,7 +47,9 @@ __all__ = [
     "CacheServer",
     "Command",
     "DEFAULT_MAX_VALUE_BYTES",
+    "EXPTIME_ABSOLUTE_THRESHOLD",
     "FailoverMemcacheClient",
+    "ItemMetaStore",
     "LoadConfig",
     "LoadReport",
     "MAX_KEY_BYTES",

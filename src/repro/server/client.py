@@ -260,9 +260,24 @@ class MemcacheClient:
             conn.writer.write(request)
             await conn.writer.drain()
             out: Dict[bytes, bytes] = {}
-            async for key, value, _cas in self._read_values(conn):
+            async for key, _flags, value, _cas in self._read_values(conn):
                 out[key] = value
             return out
+
+        return await self._call(op)
+
+    async def get_full(self, key: bytes) -> Optional[Tuple[bytes, int]]:
+        """GET returning ``(value, flags)``; None on miss."""
+        request = self._get_request(b"get", [key])
+
+        async def op(conn: _Connection):
+            conn.writer.write(request)
+            await conn.writer.drain()
+            result = None
+            async for got, flags, value, _cas in self._read_values(conn):
+                if got == key:
+                    result = (value, flags)
+            return result
 
         return await self._call(op)
 
@@ -276,17 +291,19 @@ class MemcacheClient:
             result = None
             # Consume the whole reply (through END) so the connection
             # goes back to the pool with nothing buffered.
-            async for got, value, cas in self._read_values(conn):
+            async for got, _flags, value, cas in self._read_values(conn):
                 if got == key:
                     result = (value, cas)
             return result
 
         return await self._call(op)
 
-    async def set(self, key: bytes, value: bytes, ttl: float = 0.0) -> bool:
+    async def set(
+        self, key: bytes, value: bytes, ttl: float = 0.0, flags: int = 0
+    ) -> bool:
         self._check_key(key)
         request = (
-            b"set %s 0 %d %d" % (key, int(ttl), len(value))
+            b"set %s %d %d %d" % (key, flags, int(ttl), len(value))
             + CRLF
             + value
             + CRLF
@@ -300,6 +317,42 @@ class MemcacheClient:
                 return True
             _raise_for_error_line(line)
             return False
+
+        return await self._call(op)
+
+    async def cas(
+        self,
+        key: bytes,
+        value: bytes,
+        token: int,
+        ttl: float = 0.0,
+        flags: int = 0,
+    ) -> Optional[bool]:
+        """Compare-and-swap against a ``gets`` token.
+
+        True = stored; False = the item changed since the token was
+        handed out (EXISTS); None = the key vanished (NOT_FOUND).
+        """
+        self._check_key(key)
+        request = (
+            b"cas %s %d %d %d %d" % (key, flags, int(ttl), len(value), token)
+            + CRLF
+            + value
+            + CRLF
+        )
+
+        async def op(conn: _Connection) -> Optional[bool]:
+            conn.writer.write(request)
+            await conn.writer.drain()
+            line = (await conn.read_line()).rstrip()
+            if line == b"STORED":
+                return True
+            if line == b"EXISTS":
+                return False
+            if line == b"NOT_FOUND":
+                return None
+            _raise_for_error_line(line + CRLF)
+            raise ProtocolError(f"unexpected cas reply {line!r}")
 
         return await self._call(op)
 
@@ -392,7 +445,7 @@ class MemcacheClient:
         return verb + b" " + b" ".join(keys) + CRLF
 
     async def _read_values(self, conn: _Connection):
-        """Yield (key, value, cas) from VALUE blocks until END."""
+        """Yield (key, flags, value, cas) from VALUE blocks until END."""
         while True:
             line = (await conn.read_line()).rstrip()
             if line == b"END":
@@ -404,13 +457,14 @@ class MemcacheClient:
             if len(parts) not in (4, 5):
                 raise ProtocolError(f"malformed VALUE header {line!r}")
             key = parts[1]
+            flags = int(parts[2])
             length = int(parts[3])
             cas = int(parts[4]) if len(parts) == 5 else 0
             value = await conn.read_exactly(length)
             trailer = await conn.read_exactly(2)
             if trailer != CRLF:
                 raise ProtocolError("VALUE block missing CRLF trailer")
-            yield key, value, cas
+            yield key, flags, value, cas
 
 
 #: Read-path conditions that mean "try the next endpoint", not "give up":
@@ -532,8 +586,20 @@ class FailoverMemcacheClient:
 
     # -- writes ----------------------------------------------------------------
 
-    async def set(self, key: bytes, value: bytes, ttl: float = 0.0) -> bool:
-        return await self._primary.set(key, value, ttl)
+    async def set(
+        self, key: bytes, value: bytes, ttl: float = 0.0, flags: int = 0
+    ) -> bool:
+        return await self._primary.set(key, value, ttl, flags)
+
+    async def cas(
+        self,
+        key: bytes,
+        value: bytes,
+        token: int,
+        ttl: float = 0.0,
+        flags: int = 0,
+    ) -> Optional[bool]:
+        return await self._primary.cas(key, value, token, ttl, flags)
 
     async def delete(self, key: bytes) -> bool:
         return await self._primary.delete(key)

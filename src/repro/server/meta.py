@@ -1,0 +1,96 @@
+"""Per-item protocol metadata the cache core does not store.
+
+The zExpander core stores ``key -> value`` bytes and nothing else — it
+has no notion of memcached ``flags`` or CAS versions, and teaching every
+zone/block structure about them would bloat the compressed Z-zone format
+for a concern that is purely the serving layer's.  Instead the server
+keeps this sidecar: ``key -> (flags, cas)`` where ``cas`` is a
+server-wide monotonic version counter bumped on every successful store
+(matching real memcached, whose CAS values are a global counter that
+restarts from scratch on reboot — CAS tokens are deliberately *not*
+persisted).
+
+Staleness discipline: the cache evicts items without telling the
+sidecar, so an entry can outlive its item.  That is harmless for
+correctness — a GET miss never consults the sidecar for a reply, and
+the server lazily drops the entry when it observes the miss — but it is
+a memory liability under churn, so :meth:`ItemMetaStore.prune` walks
+off entries whose keys are no longer resident once the sidecar grows
+past twice the cache's live item count.  Until the lazy drop or a prune
+runs, a re-stored key simply overwrites its stale entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+#: ``(flags, cas)`` returned for keys the sidecar has never seen.
+DEFAULT_META: Tuple[int, int] = (0, 0)
+
+
+class ItemMetaStore:
+    """``key -> (flags, cas)`` with a monotonic server-wide CAS counter."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[bytes, Tuple[int, int]] = {}
+        self._next_cas = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    # -- mutation ---------------------------------------------------------------
+
+    def on_set(self, key: bytes, flags: int) -> int:
+        """Record a successful store; returns the item's new CAS value."""
+        self._next_cas += 1
+        self._entries[key] = (flags, self._next_cas)
+        return self._next_cas
+
+    def on_delete(self, key: bytes) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Tuple[int, int]:
+        """``(flags, cas)`` for ``key``; ``(0, 0)`` when unknown.
+
+        A zero CAS is unobtainable from :meth:`on_set` (the counter
+        starts at 1), so ``cas == 0`` reliably means "no live version".
+        """
+        return self._entries.get(key, DEFAULT_META)
+
+    def flags_of(self, key: bytes) -> int:
+        return self._entries.get(key, DEFAULT_META)[0]
+
+    def cas_of(self, key: bytes) -> int:
+        return self._entries.get(key, DEFAULT_META)[1]
+
+    # -- hygiene ----------------------------------------------------------------
+
+    def prune(self, resident: Iterable[bytes], limit: int = 4096) -> int:
+        """Drop up to ``limit`` entries whose key is not in ``resident``.
+
+        ``resident`` must support ``in`` (the server passes the cache,
+        whose ``get``-free ``contains`` would be ideal; absent that, a
+        set of live keys).  Returns the number of entries dropped.
+        """
+        stale = []
+        for key in self._entries:
+            if key not in resident:
+                stale.append(key)
+                if len(stale) >= limit:
+                    break
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Rough accounting: dict slot + tuple of two ints per entry."""
+        return len(self._entries) * 96

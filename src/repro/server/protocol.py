@@ -7,13 +7,19 @@ commands in one read — and pop complete events.  An event is either a
 reply line the server should send (``ERROR`` / ``CLIENT_ERROR ...``) and
 whether the connection is still usable afterwards.
 
-Supported commands: ``get``/``gets`` (multi-key), ``set``, ``delete``,
-``stats``, ``version``, ``quit``, plus the operator-only ``promote``
-(replica -> primary failover).  Limits follow memcached: keys are at
-most 250 bytes with no whitespace or control characters; values are
-bounded by the server's configured item size and rejected with
-``CLIENT_ERROR`` (the declared data block is consumed first, so the
-connection stays in sync).
+Supported commands: ``get``/``gets`` (multi-key), ``set``, ``cas``,
+``delete``, ``stats``, ``version``, ``quit``, plus the operator-only
+``promote`` (replica -> primary failover).  Limits follow memcached:
+keys are at most 250 bytes with no whitespace or control characters;
+values are bounded by the server's configured item size and rejected
+with ``CLIENT_ERROR`` (the declared data block is consumed first, so
+the connection stays in sync).
+
+``exptime`` follows memcached's integer semantics: ``0`` means no
+expiry, values up to :data:`EXPTIME_ABSOLUTE_THRESHOLD` (30 days) are
+relative TTLs in seconds, and larger values are absolute Unix
+timestamps the *server* converts against its clock (the parser only
+validates the integer — wall-clock conversion is an execution concern).
 """
 
 from __future__ import annotations
@@ -33,8 +39,13 @@ ABSOLUTE_MAX_VALUE_BYTES = 64 * 1024 * 1024
 #: A command line (longest: multi-get) may not exceed this.
 MAX_LINE_BYTES = 8192
 
+#: memcached's relative/absolute exptime pivot: values above 30 days
+#: (in seconds) are absolute Unix timestamps, not TTLs.
+EXPTIME_ABSOLUTE_THRESHOLD = 60 * 60 * 24 * 30
+
 ERROR = b"ERROR" + CRLF
 STORED = b"STORED" + CRLF
+EXISTS = b"EXISTS" + CRLF
 DELETED = b"DELETED" + CRLF
 NOT_FOUND = b"NOT_FOUND" + CRLF
 END = b"END" + CRLF
@@ -48,8 +59,10 @@ class Command:
     keys: Tuple[bytes, ...] = ()
     value: bytes = b""
     flags: int = 0
-    exptime: float = 0.0
+    exptime: int = 0
     noreply: bool = False
+    #: The compare-and-swap token on ``cas`` commands.
+    cas_token: int = 0
 
 
 @dataclass(frozen=True)
@@ -101,13 +114,15 @@ def valid_key(key: bytes) -> bool:
 
 @dataclass
 class _PendingSet:
-    """A ``set`` whose data block has not fully arrived yet."""
+    """A storage command whose data block has not fully arrived yet."""
 
+    name: str
     keys: Tuple[bytes, ...]
     flags: int
-    exptime: float
+    exptime: int
     length: int
     noreply: bool
+    cas_token: int = 0
     #: When set, the data block is consumed and discarded and this reply
     #: is emitted instead of a Command (oversized value).
     reject: Optional[bytes] = None
@@ -191,12 +206,13 @@ class RequestParser:
         if pending.reject is not None:
             return BadCommand(pending.reject, pending.reject_reason)
         return Command(
-            name="set",
+            name=pending.name,
             keys=pending.keys,
             value=value,
             flags=pending.flags,
             exptime=pending.exptime,
             noreply=pending.noreply,
+            cas_token=pending.cas_token,
         )
 
     def _parse_line(self, line: bytes) -> Event:
@@ -207,8 +223,8 @@ class RequestParser:
         args = parts[1:]
         if name in (b"get", b"gets"):
             return self._parse_get(name.decode(), args)
-        if name == b"set":
-            return self._parse_set(args)
+        if name in (b"set", b"cas"):
+            return self._parse_set(name.decode(), args)
         if name == b"delete":
             return self._parse_delete(args)
         if name in (b"stats", b"version", b"quit"):
@@ -243,30 +259,39 @@ class RequestParser:
                 return BadCommand(client_error("bad key"), f"bad key {key!r}")
         return Command(name=name, keys=tuple(args))
 
-    def _parse_set(self, args: List[bytes]) -> Event:
+    def _parse_set(self, name: str, args: List[bytes]) -> Event:
         noreply = False
         if args and args[-1] == b"noreply":
             noreply = True
             args = args[:-1]
-        if len(args) != 4:
+        expected = 5 if name == "cas" else 4
+        if len(args) != expected:
+            grammar = "<key> <flags> <exptime> <bytes>"
+            if name == "cas":
+                grammar += " <cas unique>"
             return BadCommand(
                 client_error("bad command line format"),
-                "set expects <key> <flags> <exptime> <bytes>",
+                f"{name} expects {grammar}",
             )
-        key, flags_raw, exptime_raw, length_raw = args
+        key, flags_raw, exptime_raw, length_raw = args[:4]
+        cas_token = 0
         try:
             flags = int(flags_raw)
-            exptime = float(exptime_raw)
+            # memcached exptime is an integer (a float like ``1.5`` is a
+            # malformed command, not a short TTL).
+            exptime = int(exptime_raw)
             length = int(length_raw)
+            if name == "cas":
+                cas_token = int(args[4])
         except ValueError:
             return BadCommand(
                 client_error("bad command line format"),
-                "non-numeric set parameters",
+                f"non-numeric {name} parameters",
             )
-        if length < 0 or exptime < 0 or flags < 0:
+        if length < 0 or exptime < 0 or flags < 0 or cas_token < 0:
             return BadCommand(
                 client_error("bad command line format"),
-                "negative set parameters",
+                f"negative {name} parameters",
             )
         if length > ABSOLUTE_MAX_VALUE_BYTES:
             return BadCommand(
@@ -283,11 +308,13 @@ class RequestParser:
             reject = client_error("object too large for cache")
             reason = f"value of {length} B exceeds {self.max_value_bytes} B"
         self._pending = _PendingSet(
+            name=name,
             keys=(key,),
             flags=flags,
             exptime=exptime,
             length=length,
             noreply=noreply,
+            cas_token=cas_token,
             reject=reject,
             reject_reason=reason,
         )

@@ -27,9 +27,8 @@ from __future__ import annotations
 import asyncio
 import os
 import time
-import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.common.errors import JournalError
@@ -49,6 +48,7 @@ from repro.server.admission import (
     AdmissionController,
     ServerState,
 )
+from repro.server.meta import ItemMetaStore
 from repro.server.protocol import BadCommand, Command, RequestParser
 
 #: Virtual-clock step per served command in deterministic ("tick") mode —
@@ -169,9 +169,16 @@ class ServerStats:
     commands: int = 0
     cmd_get: int = 0
     cmd_set: int = 0
+    cmd_cas: int = 0
     cmd_delete: int = 0
     get_hits: int = 0
     get_misses: int = 0
+    cas_hits: int = 0
+    cas_badval: int = 0
+    cas_misses: int = 0
+    #: Stale sidecar entries dropped by the periodic prune (items the
+    #: cache evicted without telling the flags/CAS sidecar).
+    meta_pruned: int = 0
     read_timeouts: int = 0
     peer_resets: int = 0
     protocol_errors: int = 0
@@ -205,6 +212,11 @@ class CacheServer:
         else:
             self.admission = AdmissionController(self.config.admission)
         self.stats = ServerStats()
+        #: Per-item client flags + monotonic CAS versions.  Lives beside
+        #: the cache (which stores only bytes): persisted through
+        #: snapshots (v2) and the journal, but CAS versions restart from
+        #: 1 on every boot, as real memcached's do.
+        self.meta = ItemMetaStore()
         self.registry = MetricsRegistry(enabled=self.config.metrics)
         self._timer = time.perf_counter if self.config.metrics else None
         self._latency_hist = self.registry.histogram(
@@ -308,12 +320,15 @@ class CacheServer:
                 hard_lag_bytes=self.config.hard_lag_bytes,
                 stale_grace=self.config.stale_grace,
                 silence_timeout=self.config.repl_silence_timeout,
+                meta=self.meta,
             )
             self.repl_client.start()
 
     def _warm_restart(self, path: str) -> None:
         try:
-            result: LoadResult = load_snapshot(self.cache, path, strict=False)
+            result: LoadResult = load_snapshot(
+                self.cache, path, strict=False, meta=self.meta
+            )
         except FileNotFoundError:
             return
         except Exception as exc:  # a bad snapshot must not block startup
@@ -326,7 +341,9 @@ class CacheServer:
             self.incidents.append(f"snapshot tail skipped: {result.error}")
 
     def _recover_durable(self) -> None:
-        self.durability = DurabilityManager(self.config.durability_config())
+        self.durability = DurabilityManager(
+            self.config.durability_config(), meta=self.meta
+        )
         recovery = self.durability.recover_into(self.cache)
         if recovery.history_gap is not None:
             # A hole in history no quarantine pass could have left:
@@ -395,7 +412,7 @@ class CacheServer:
         if self.config.snapshot_path is not None:
             try:
                 self.stats.snapshot_written = write_snapshot(
-                    self.cache, self.config.snapshot_path
+                    self.cache, self.config.snapshot_path, meta=self.meta
                 )
             except Exception as exc:
                 self.incidents.append(f"snapshot write failed: {exc}")
@@ -537,6 +554,15 @@ class CacheServer:
                 self.durability.checkpoint(self.cache)
             except Exception as exc:
                 self.incidents.append(f"checkpoint failed: {exc}")
+        # Sidecar hygiene: evictions happen inside the cache without
+        # notifying the flags/CAS sidecar, so under churn it can outgrow
+        # the live item set.  Walk off entries for departed keys once it
+        # doubles the cache's population (bounded work per pass).
+        if (
+            self.stats.commands % 4096 == 0
+            and len(self.meta) > 2 * self.cache.item_count + 64
+        ):
+            self.stats.meta_pruned += self.meta.prune(self.cache)
         if reply and not command.noreply:
             await self._send(writer, reply)
         return True
@@ -557,7 +583,7 @@ class CacheServer:
         advertised bound — serving them could hand out bytes staler than
         the deployment promised.
         """
-        if command.name in ("set", "delete"):
+        if command.name in ("set", "cas", "delete"):
             self.replication_stats.read_only_rejects += 1
             if not command.noreply:
                 await self._send(writer, _READ_ONLY)
@@ -605,7 +631,7 @@ class CacheServer:
         if catch_up_dir is not None:
             try:
                 caught, mode = catch_up_from_directory(
-                    self.cache, catch_up_dir, position
+                    self.cache, catch_up_dir, position, meta=self.meta
                 )
                 self.replication_stats.catch_up_records += caught
             except Exception as exc:
@@ -634,6 +660,46 @@ class CacheServer:
             return False
         return all(routes(key) for key in command.keys)
 
+    def _resolve_ttl(self, exptime: int) -> Tuple[Optional[float], bool]:
+        """memcached exptime -> (relative ttl seconds, already_expired).
+
+        ``0`` means no expiry; values up to 30 days are relative TTLs;
+        anything larger is an absolute Unix timestamp converted against
+        the server's wall clock (the one nondeterministic input — the
+        deterministic harnesses only ever send relative TTLs).  An
+        absolute time already in the past stores-and-expires: the caller
+        replies STORED but the item is gone, exactly as memcached does.
+        """
+        if exptime <= 0:
+            return None, False
+        if exptime > protocol.EXPTIME_ABSOLUTE_THRESHOLD:
+            ttl = float(exptime) - time.time()
+            if ttl <= 0:
+                return None, True
+            return ttl, False
+        return float(exptime), False
+
+    def _store(self, command: Command) -> bytes:
+        """The shared tail of ``set`` and a token-matched ``cas``."""
+        key = command.keys[0]
+        self._set_bytes_hist.observe(len(command.value))
+        ttl, expired = self._resolve_ttl(command.exptime)
+        if expired:
+            # Stored but already expired (absolute exptime in the past):
+            # acknowledge the write, leave nothing to read.  The delete
+            # is journaled, so recovery cannot resurrect an older value.
+            self.cache.delete(key)
+            self.meta.on_delete(key)
+            return protocol.STORED
+        try:
+            self.cache.set(key, command.value, ttl=ttl, flags=command.flags)
+        except Exception as exc:
+            return protocol.server_error(
+                f"{command.name} failed: {type(exc).__name__}"
+            )
+        self.meta.on_set(key, command.flags)
+        return protocol.STORED
+
     def _execute(self, command: Command) -> bytes:
         if command.name in ("get", "gets"):
             self.stats.cmd_get += 1
@@ -643,25 +709,49 @@ class CacheServer:
                 value = self.cache.get(key)
                 if value is None:
                     self.stats.get_misses += 1
+                    # The cache evicts/expires without telling the
+                    # sidecar; drop the stale entry when the miss shows.
+                    self.meta.on_delete(key)
                     continue
                 self.stats.get_hits += 1
                 self._get_bytes_hist.observe(len(value))
-                cas = zlib.crc32(value) if with_cas else None
-                chunks.append(protocol.encode_value(key, value, cas=cas))
+                flags, cas = self.meta.get(key)
+                if with_cas and cas == 0:
+                    # Resident item with no recorded version (e.g. loaded
+                    # through a path that bypassed the sidecar): mint one
+                    # so the gets/cas pair stays usable.
+                    cas = self.meta.on_set(key, flags)
+                chunks.append(
+                    protocol.encode_value(
+                        key, value, flags=flags, cas=cas if with_cas else None
+                    )
+                )
             chunks.append(protocol.END)
             return b"".join(chunks)
         if command.name == "set":
             self.stats.cmd_set += 1
-            self._set_bytes_hist.observe(len(command.value))
-            ttl = command.exptime if command.exptime > 0 else None
-            try:
-                self.cache.set(command.keys[0], command.value, ttl=ttl)
-            except Exception as exc:
-                return protocol.server_error(f"set failed: {type(exc).__name__}")
-            return protocol.STORED
+            return self._store(command)
+        if command.name == "cas":
+            self.stats.cmd_cas += 1
+            key = command.keys[0]
+            if self.cache.get(key) is None:
+                self.stats.cas_misses += 1
+                self.meta.on_delete(key)
+                return protocol.NOT_FOUND
+            stored_cas = self.meta.cas_of(key)
+            # A zero stored version means "unknown" (never handed out by
+            # gets), so it can never match — the client must re-gets.
+            if stored_cas == 0 or stored_cas != command.cas_token:
+                self.stats.cas_badval += 1
+                return protocol.EXISTS
+            reply = self._store(command)
+            if reply == protocol.STORED:
+                self.stats.cas_hits += 1
+            return reply
         if command.name == "delete":
             self.stats.cmd_delete += 1
             found = self.cache.delete(command.keys[0])
+            self.meta.on_delete(command.keys[0])
             return protocol.DELETED if found else protocol.NOT_FOUND
         raise AssertionError(f"unroutable command {command.name!r}")
 
@@ -700,6 +790,8 @@ class CacheServer:
         out["curr_items"] = self.cache.item_count
         out["bytes"] = self.cache.used_bytes
         out["limit_maxbytes"] = self.cache.capacity
+        out["meta_items"] = len(self.meta)
+        out["meta_bytes"] = self.meta.memory_bytes
         cache_stats = getattr(self.cache, "stats", None)
         if cache_stats is None and hasattr(self.cache, "aggregate_stats"):
             cache_stats = self.cache.aggregate_stats()

@@ -57,6 +57,37 @@ class TestExpiryIndex:
         index.set(b"k", 1.0)
         assert index.memory_bytes > empty
 
+    def test_stale_heap_entries_drain_after_churn(self):
+        # Every overwrite leaves a stale heap entry behind; after heavy
+        # churn the heap must drain back to nothing (and stop being
+        # charged) once the due keys are popped.
+        index = ExpiryIndex()
+        for round_ in range(50):
+            for i in range(8):
+                index.set(b"churn%d" % i, 10.0 + round_)
+        assert index.memory_bytes > 8 * 24  # stale entries are charged
+        drained = []
+        while True:
+            batch = list(index.pop_due(now=1000.0, limit=16))
+            if not batch:
+                break
+            drained.extend(batch)
+        assert sorted(drained) == [b"churn%d" % i for i in range(8)]
+        assert len(index) == 0
+        assert index.memory_bytes == 0
+        assert not index  # __bool__ false: hot path skips expiry work
+
+    def test_tombstoned_keys_drain_without_yielding(self):
+        # Keys cleared (deleted) before their deadline leave heap-only
+        # residue; pop_due must discard it silently and free the charge.
+        index = ExpiryIndex()
+        for i in range(10):
+            index.set(b"dead%d" % i, 5.0)
+            index.clear(b"dead%d" % i)
+        assert index.memory_bytes > 0
+        assert list(index.pop_due(now=100.0, limit=64)) == []
+        assert index.memory_bytes == 0
+
 
 def make_cache():
     clock = VirtualClock()

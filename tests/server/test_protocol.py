@@ -210,6 +210,78 @@ class TestRejection:
             assert isinstance(event, BadCommand), line
 
 
+class TestCasGrammar:
+    def test_cas_with_token(self):
+        (event,) = feed_all(b"cas k 7 0 5 42\r\nhello\r\n")
+        assert event.name == "cas"
+        assert event.keys == (b"k",)
+        assert event.value == b"hello"
+        assert event.flags == 7
+        assert event.cas_token == 42
+
+    def test_cas_noreply(self):
+        (event,) = feed_all(b"cas k 0 0 2 9 noreply\r\nhi\r\n")
+        assert event.name == "cas"
+        assert event.noreply
+        assert event.cas_token == 9
+
+    def test_cas_missing_token_rejected(self):
+        (event,) = feed_all(b"cas k 0 0 5\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_cas_negative_token_rejected(self):
+        (event,) = feed_all(b"cas k 0 0 5 -1\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_cas_non_numeric_token_rejected(self):
+        (event,) = feed_all(b"cas k 0 0 5 abc\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_set_rejects_trailing_token(self):
+        # Five numeric args belong to cas only; set takes four.
+        (event,) = feed_all(b"set k 0 0 5 42\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_cas_pipelined_with_set(self):
+        events = feed_all(b"set a 0 0 1\r\nA\r\ncas a 0 0 1 3\r\nB\r\n")
+        assert [event.name for event in events] == ["set", "cas"]
+        assert events[1].cas_token == 3
+
+
+class TestExptimeGrammar:
+    def test_exptime_parsed_as_int(self):
+        (event,) = feed_all(b"set k 0 300 2\r\nhi\r\n")
+        assert event.exptime == 300
+        assert isinstance(event.exptime, int)
+
+    def test_exptime_zero_means_no_expiry(self):
+        (event,) = feed_all(b"set k 0 0 2\r\nhi\r\n")
+        assert event.exptime == 0
+
+    def test_absolute_exptime_carried_verbatim(self):
+        # Above the 30-day threshold the value is an absolute Unix
+        # timestamp; conversion happens at execution, not parse.
+        stamp = 1900000000
+        (event,) = feed_all(b"set k 0 %d 2\r\nhi\r\n" % stamp)
+        assert event.exptime == stamp
+
+    def test_float_exptime_rejected(self):
+        (event,) = feed_all(b"set k 0 1.5 2\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_negative_exptime_rejected(self):
+        (event,) = feed_all(b"set k 0 -1 2\r\n")
+        assert isinstance(event, BadCommand)
+
+    def test_threshold_boundary_is_relative(self):
+        from repro.server.protocol import EXPTIME_ABSOLUTE_THRESHOLD
+
+        (event,) = feed_all(
+            b"set k 0 %d 2\r\nhi\r\n" % EXPTIME_ABSOLUTE_THRESHOLD
+        )
+        assert event.exptime == EXPTIME_ABSOLUTE_THRESHOLD
+
+
 class TestEncodersAndKeys:
     def test_encode_value_with_cas(self):
         assert (

@@ -28,6 +28,7 @@ class TestPublicApi:
 
     def test_subpackage_alls_resolve(self):
         import repro.analysis
+        import repro.cluster
         import repro.compression
         import repro.core
         import repro.durability
@@ -42,6 +43,7 @@ class TestPublicApi:
 
         for module in (
             repro.analysis,
+            repro.cluster,
             repro.compression,
             repro.core,
             repro.durability,
