@@ -33,6 +33,7 @@ from repro.analysis.benchjson import (
 )
 from repro.core.config import ZExpanderConfig
 from repro.core.sharded import ShardedZExpander
+from repro.metrics import Histogram, log_buckets, merge_snapshots
 from repro.server.client import MemcacheClient
 from repro.server.loadgen import expected_value, key_name
 from repro.server.server import CacheServer, ServerConfig
@@ -43,14 +44,21 @@ SCALES = {
 }
 
 
-async def _started_server(seed: int = 42, journal_dir: str | None = None):
+async def _started_server(
+    seed: int = 42,
+    journal_dir: str | None = None,
+    batch_reads: bool = True,
+):
     cache = ShardedZExpander(
         ZExpanderConfig(total_capacity=8 * 1024 * 1024, seed=seed),
         num_shards=2,
     )
-    config = ServerConfig(port=0)
+    config = ServerConfig(port=0, batch_reads=batch_reads)
     if journal_dir is not None:
-        config = ServerConfig(port=0, journal_dir=journal_dir, fsync="interval")
+        config = ServerConfig(
+            port=0, journal_dir=journal_dir, fsync="interval",
+            batch_reads=batch_reads,
+        )
     server = CacheServer(cache, config)
     await server.start()
     task = asyncio.create_task(server.run())
@@ -305,30 +313,62 @@ async def bench_set_rtt_replicated(ops: int, keys: int, seed: int):
     return records["off"], records["on"], get_record, ratio
 
 
+#: 1 µs – 10 s in microseconds, 9 buckets per decade: fine enough that
+#: interpolated p50/p99 track the raw-sample percentiles closely.
+_RTT_BOUNDS = log_buckets(1.0, 1e7, per_decade=9)
+
+
 async def bench_pooled_throughput(
     ops: int, keys: int, seed: int, workers: int = 8
 ) -> BenchRecord:
-    """Concurrent GETs through one pooled client (the deployment shape)."""
+    """Concurrent GETs through one pooled client (the deployment shape).
+
+    Each worker keeps its own latency histogram (no cross-task sharing
+    mid-flight); the per-worker snapshots merge element-wise through
+    :func:`merge_snapshots`, and p50/p99 come from the merged buckets —
+    previously this bench reported ``p50_us: None``/``p99_us: None``.
+    """
     server, task = await _started_server(seed)
     client = MemcacheClient(port=server.port, pool_size=4)
     await _populate(client, keys, seed)
     per_worker = ops // workers
 
-    async def worker(worker_id: int) -> None:
+    async def worker(worker_id: int):
+        hist = Histogram(f"worker{worker_id}_rtt_us", bounds=_RTT_BOUNDS)
         for i in range(per_worker):
+            t0 = time.perf_counter()
             await client.get(key_name(0, (worker_id * per_worker + i) % keys))
+            hist.observe((time.perf_counter() - t0) * 1e6)
+        return {
+            "pooled_get_rtt_us": {
+                "count": hist.count,
+                "sum": hist.sum,
+                "bounds": list(hist.bounds),
+                "counts": list(hist.counts),
+            }
+        }
 
     started = time.perf_counter()
-    await asyncio.gather(*(worker(w) for w in range(workers)))
+    snapshots = await asyncio.gather(*(worker(w) for w in range(workers)))
     wall = time.perf_counter() - started
     await client.close()
     server.begin_drain()
     await task
-    return _record(
-        "server_pooled_throughput",
-        {"ops": per_worker * workers, "keys": keys, "seed": seed,
-         "workers": workers, "pool_size": 4},
-        [], wall, per_worker * workers,
+    merged = merge_snapshots(snapshots)["pooled_get_rtt_us"]
+    rtt = Histogram("pooled_get_rtt_us", bounds=merged["bounds"])
+    rtt.counts = list(merged["counts"])
+    rtt._count = merged["count"]
+    rtt._sum = merged["sum"]
+    return BenchRecord(
+        bench="server_pooled_throughput",
+        config={"ops": per_worker * workers, "keys": keys, "seed": seed,
+                "workers": workers, "pool_size": 4,
+                "latency_source": "merged-worker-histograms"},
+        ops_per_sec=(per_worker * workers) / wall if wall > 0 else None,
+        p50_us=rtt.percentile(50),
+        p99_us=rtt.percentile(99),
+        wall_s=round(wall, 4),
+        git_rev=_GIT_REV,
     )
 
 
@@ -354,6 +394,54 @@ async def bench_multiget_batch(
     return _record(
         "server_multiget_batch",
         {"ops": rounds * batch, "keys": keys, "seed": seed, "batch": batch},
+        samples, wall, rounds * batch,
+    )
+
+
+async def bench_multiget_pipelined(
+    ops: int, keys: int, seed: int, batch: int = 16
+) -> BenchRecord:
+    """Per-key pipelined baseline: ``batch`` single-key GETs in one write.
+
+    The server runs with ``batch_reads=False`` so every key takes the
+    old sequential path (one cache lookup, one socket write per
+    command).  This is the denominator of the multiget-gate speedup and
+    stays recorded so regressions against the native batch path show up
+    in the bench history.
+    """
+    server, task = await _started_server(seed, batch_reads=False)
+    client = MemcacheClient(port=server.port, pool_size=1)
+    await _populate(client, keys, seed)
+    await client.close()
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    rounds = max(1, ops // batch)
+    samples = []
+    started = time.perf_counter()
+    for i in range(rounds):
+        burst = b"".join(
+            b"get " + key_name(0, (i * batch + j) % keys) + b"\r\n"
+            for j in range(batch)
+        )
+        t0 = time.perf_counter()
+        writer.write(burst)
+        await writer.drain()
+        ends = 0
+        while ends < batch:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed mid-burst")
+            if line == b"END\r\n":
+                ends += 1
+        samples.append((time.perf_counter() - t0) * 1e6)
+    wall = time.perf_counter() - started
+    writer.close()
+    await writer.wait_closed()
+    server.begin_drain()
+    await task
+    return _record(
+        "server_multiget_pipelined",
+        {"ops": rounds * batch, "keys": keys, "seed": seed, "batch": batch,
+         "batch_reads": False},
         samples, wall, rounds * batch,
     )
 
@@ -429,6 +517,7 @@ def main(argv=None) -> int:
             bench_set_rtt,
             bench_pooled_throughput,
             bench_multiget_batch,
+            bench_multiget_pipelined,
             bench_cluster_multiget,
         ):
             record = await bench(scale["ops"], scale["keys"], args.seed)

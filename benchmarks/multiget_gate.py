@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""CI gate for the batched multi-GET path (``multiget-gate`` job).
+
+Three gates over one Z-zone-heavy workload (a cache small enough that
+most resident items live compressed in the Z-zone):
+
+1. **Byte fidelity** — every request shape is sent to *two* servers,
+   one with ``batch_reads`` on and one with it off, and the raw reply
+   bytes must match: native multi-key ``get`` (exercises the cache-level
+   ``get_many``) and a pipelined burst of single-key GETs in one write
+   (exercises server-side burst coalescing, whose replies must be
+   byte-identical to one-command-at-a-time dispatch).  Per-key hit/miss
+   counts must also match across the two servers.
+2. **Decode sharing** — the batch server must report
+   ``fastpath_container_decodes_saved > 0``: at least one Z-zone block
+   decompression was shared across keys of a batch.
+3. **Speedup floor** — interleaved best-of-``--rounds``: native
+   ``get_many`` against the batch server must beat the same keys as
+   pipelined per-key GETs against the batch-off server by ``--floor``
+   (default 1.5x).
+
+Deterministic facts (counts, digests, verdicts that cannot vary run to
+run) go to **stdout** — CI runs the gate twice and byte-diffs the two
+stdouts.  Wall-clock timings and the speedup verdict go to stderr.
+
+Exit 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import ZExpanderConfig
+from repro.core.zexpander import ZExpander
+from repro.server.client import MemcacheClient
+from repro.server.loadgen import expected_value, key_name
+from repro.server.server import CacheServer, ServerConfig
+
+#: Small cache + low N-zone fraction: most resident items end up in
+#: compressed Z-zone blocks, so batched reads have decodes to share.
+CAPACITY = 192 * 1024
+NZONE_FRACTION = 0.1
+KEYS = 600
+BATCH = 16
+ROUNDS_CORRECTNESS = 40
+
+
+async def _started(seed: int, batch_reads: bool):
+    cache = ZExpander(
+        ZExpanderConfig(
+            total_capacity=CAPACITY,
+            nzone_fraction=NZONE_FRACTION,
+            seed=seed,
+        )
+    )
+    server = CacheServer(cache, ServerConfig(port=0, batch_reads=batch_reads))
+    await server.start()
+    task = asyncio.create_task(server.run())
+    return server, task
+
+
+async def _populate(port: int, seed: int) -> None:
+    client = MemcacheClient(port=port, pool_size=1)
+    for key_id in range(KEYS):
+        await client.set(key_name(0, key_id), expected_value(seed, 0, key_id, 1))
+    await client.close()
+
+
+def _batch_names(round_index: int):
+    """16 keys per round: 14 resident-population keys (strided so they
+    spread across trie blocks) + 2 never-set keys (miss accounting)."""
+    names = []
+    for j in range(BATCH - 2):
+        names.append(key_name(0, (round_index * 7 + j * 41) % KEYS))
+    names.append(key_name(9, round_index % KEYS))
+    names.append(key_name(9, (round_index + 1) % KEYS))
+    return names
+
+
+async def _raw_connect(port: int):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def _read_replies(reader: asyncio.StreamReader, ends: int) -> bytes:
+    """Read raw bytes through ``ends`` END lines (workload values are
+    CRLF-free, so line framing is unambiguous)."""
+    out = []
+    seen = 0
+    while seen < ends:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed mid-reply")
+        out.append(line)
+        if line == b"END\r\n":
+            seen += 1
+    return b"".join(out)
+
+
+def _parse_values(reply: bytes):
+    """(hits, misses-by-END-count irrelevant) -> list of (key, value)."""
+    values = []
+    lines = reply.split(b"\r\n")
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith(b"VALUE "):
+            key = line.split(b" ")[1]
+            values.append((key, lines[index + 1]))
+            index += 2
+            continue
+        index += 1
+    return values
+
+
+async def _stats(port: int):
+    reader, writer = await _raw_connect(port)
+    writer.write(b"stats\r\n")
+    await writer.drain()
+    out = {}
+    while True:
+        line = await reader.readline()
+        if line == b"END\r\n":
+            break
+        parts = line.rstrip().split(b" ", 2)
+        if len(parts) == 3 and parts[0] == b"STAT":
+            out[parts[1].decode()] = parts[2].decode()
+    writer.close()
+    await writer.wait_closed()
+    return out
+
+
+async def check_fidelity(port_on: int, port_off: int) -> dict:
+    """Send every round in both shapes to both servers; compare bytes."""
+    conn_on = await _raw_connect(port_on)
+    conn_off = await _raw_connect(port_off)
+    digest = hashlib.sha256()
+    hits = misses = 0
+    multiget_identical = burst_identical = True
+    for round_index in range(ROUNDS_CORRECTNESS):
+        names = _batch_names(round_index)
+        # Shape (a): one native multi-key get -> one END.
+        request = b"get " + b" ".join(names) + b"\r\n"
+        replies = []
+        for reader, writer in (conn_on, conn_off):
+            writer.write(request)
+            await writer.drain()
+            replies.append(await _read_replies(reader, 1))
+        if replies[0] != replies[1]:
+            multiget_identical = False
+        values = _parse_values(replies[0])
+        hits += len(values)
+        misses += len(names) - len(values)
+        for key, value in values:
+            digest.update(key + b"=" + value + b";")
+        # Shape (b): the same keys as pipelined single-key GETs in one
+        # write -> BATCH ENDs.  On the batch server this coalesces into
+        # one burst; bytes must match the per-command server exactly.
+        burst = b"".join(b"get " + name + b"\r\n" for name in names)
+        replies = []
+        for reader, writer in (conn_on, conn_off):
+            writer.write(burst)
+            await writer.drain()
+            replies.append(await _read_replies(reader, len(names)))
+        if replies[0] != replies[1]:
+            burst_identical = False
+        if _parse_values(replies[0]) != values:
+            burst_identical = False
+    for _, writer in (conn_on, conn_off):
+        writer.close()
+        await writer.wait_closed()
+    return {
+        "hits": hits,
+        "misses": misses,
+        "digest": digest.hexdigest(),
+        "multiget_identical": multiget_identical,
+        "burst_identical": burst_identical,
+    }
+
+
+async def measure(port_on: int, port_off: int, rounds: int) -> dict:
+    """Interleaved best-of-``rounds`` walls: native batch vs pipelined."""
+    timing_rounds = 120
+    walls = {"batch": float("inf"), "pipelined": float("inf")}
+    client = MemcacheClient(port=port_on, pool_size=1)
+    reader, writer = await _raw_connect(port_off)
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for round_index in range(timing_rounds):
+            await client.get_many(_batch_names(round_index))
+        walls["batch"] = min(walls["batch"], time.perf_counter() - started)
+        started = time.perf_counter()
+        for round_index in range(timing_rounds):
+            names = _batch_names(round_index)
+            writer.write(b"".join(b"get " + n + b"\r\n" for n in names))
+            await writer.drain()
+            await _read_replies(reader, len(names))
+        walls["pipelined"] = min(
+            walls["pipelined"], time.perf_counter() - started
+        )
+    await client.close()
+    writer.close()
+    await writer.wait_closed()
+    ops = timing_rounds * BATCH
+    return {mode: ops / wall for mode, wall in walls.items()}
+
+
+async def run(args) -> int:
+    server_on, task_on = await _started(args.seed, batch_reads=True)
+    server_off, task_off = await _started(args.seed, batch_reads=False)
+    ok = True
+    try:
+        await _populate(server_on.port, args.seed)
+        await _populate(server_off.port, args.seed)
+        fidelity = await check_fidelity(server_on.port, server_off.port)
+        stats = await _stats(server_on.port)
+        saved = int(stats.get("fastpath_container_decodes_saved", "0"))
+        batches = int(stats.get("cache_get_many_batches", "0"))
+        # -- deterministic facts: stdout (CI byte-diffs two runs) ------------
+        print(f"keys {KEYS} batch {BATCH} rounds {ROUNDS_CORRECTNESS}")
+        print(f"hits {fidelity['hits']} misses {fidelity['misses']}")
+        print(f"value digest {fidelity['digest']}")
+        print(
+            "multiget replies identical: "
+            + ("yes" if fidelity["multiget_identical"] else "NO")
+        )
+        print(
+            "coalesced burst replies identical: "
+            + ("yes" if fidelity["burst_identical"] else "NO")
+        )
+        print(f"get_many batches served {batches}")
+        print(f"container decodes saved {saved}")
+        if not fidelity["multiget_identical"] or not fidelity["burst_identical"]:
+            print("FAIL: batched replies diverge from sequential", file=sys.stderr)
+            ok = False
+        if saved <= 0:
+            print(
+                "FAIL: container_decodes_saved is 0 on a Z-zone-heavy "
+                "multiget workload",
+                file=sys.stderr,
+            )
+            ok = False
+        if batches <= 0:
+            print("FAIL: the batch server served no get_many batches",
+                  file=sys.stderr)
+            ok = False
+        # -- wall-clock: stderr only -----------------------------------------
+        ops = await measure(server_on.port, server_off.port, args.rounds)
+        speedup = ops["batch"] / ops["pipelined"]
+        verdict = "OK" if speedup >= args.floor else "FAIL"
+        print(
+            f"multiget speedup {verdict}: {speedup:.2f}x "
+            f"(pipelined {ops['pipelined']:,.0f} ops/s, batch "
+            f"{ops['batch']:,.0f} ops/s, floor {args.floor:.2f}x)",
+            file=sys.stderr,
+        )
+        if speedup < args.floor:
+            ok = False
+    finally:
+        server_on.begin_drain()
+        server_off.begin_drain()
+        await task_on
+        await task_off
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=1.5,
+        help="min batch / pipelined speedup (default 1.5)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="interleaved timing rounds per mode (default 3)",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(run(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

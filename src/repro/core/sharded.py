@@ -14,7 +14,7 @@ counterpart).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.clock import VirtualClock
 from repro.common.errors import ConfigurationError
@@ -67,6 +67,29 @@ class ShardedZExpander:
 
     def get(self, key: bytes) -> Optional[bytes]:
         return self.shard_for(key).get(key)
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched lookup: one per-shard batch, results in caller order.
+
+        Keys are grouped by owning shard (preserving each shard's
+        relative caller order, which per-key accounting depends on) and
+        each group rides that shard's native
+        :meth:`~repro.core.zexpander.ZExpander.get_many`; single-key
+        groups still count as a batch on their shard, matching what a
+        fleet of independent servers would report.
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            shard_index = hash_key(key) % self.num_shards
+            by_shard.setdefault(shard_index, []).append(position)
+        results: List[Optional[bytes]] = [None] * len(keys)
+        for shard_index, positions in by_shard.items():
+            shard_values = self.shards[shard_index].get_many(
+                [keys[position] for position in positions]
+            )
+            for position, value in zip(positions, shard_values):
+                results[position] = value
+        return results
 
     def set(
         self,
@@ -157,6 +180,7 @@ class ShardedZExpander:
             "staging_flushes",
             "container_cache_hits",
             "container_cache_misses",
+            "container_decodes_saved",
         )
         totals = {name: 0 for name in names}
         for shard in self.shards:

@@ -8,7 +8,7 @@ replay loop.  Evictions simply leave the cache.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.stats import ZExpanderStats
 from repro.nzone.base import NZone
@@ -35,6 +35,13 @@ class SimpleKVCache:
         else:
             self.stats.get_misses += 1
         return value
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched lookup; a plain GET loop (no compressed zone to share),
+        kept so the server's batch fast path is uniform across caches."""
+        self.stats.get_many_batches += 1
+        self.stats.batched_keys += len(keys)
+        return [self.get(key) for key in keys]
 
     def set(self, key: bytes, value: bytes, flags: int = 0) -> None:
         self.stats.sets += 1

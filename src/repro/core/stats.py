@@ -36,6 +36,11 @@ class ZExpanderStats:
     serviced_nzone: int = 0
     serviced_zzone: int = 0
     allocation_adjustments: int = 0
+    #: Batched reads: ``get_many`` calls served and keys they carried.
+    #: Per-key accounting (gets/hits/misses above) is charged identically
+    #: to the sequential path; these two only record batch API usage.
+    get_many_batches: int = 0
+    batched_keys: int = 0
 
     @property
     def miss_ratio(self) -> float:

@@ -40,7 +40,7 @@ from repro.common.errors import (
     ServerOverloadedError,
     ServingError,
 )
-from repro.server.protocol import CRLF, valid_key
+from repro.server.protocol import CRLF, MAX_LINE_BYTES, valid_key
 
 #: Errors worth retrying: the next attempt may land on a healthy
 #: connection (or a restarted server).
@@ -253,18 +253,31 @@ class MemcacheClient:
         return values.get(key)
 
     async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
-        """Multi-key GET; absent keys are simply missing from the result."""
-        request = self._get_request(b"get", keys)
+        """Multi-key GET; absent keys are simply missing from the result.
 
-        async def op(conn: _Connection) -> Dict[bytes, bytes]:
-            conn.writer.write(request)
-            await conn.writer.drain()
-            out: Dict[bytes, bytes] = {}
-            async for key, _flags, value, _cas in self._read_values(conn):
-                out[key] = value
-            return out
+        An empty key list answers locally (the wire has no zero-key
+        ``get``).  Key lists too long for one request line are split so
+        every ``get k1 k2 ...`` stays under the server's line cap — each
+        chunk is one request (and one server-side batch), issued
+        sequentially so a retry never replays an already-answered chunk.
+        """
+        if not keys:
+            return {}
+        out: Dict[bytes, bytes] = {}
+        for request in self._get_requests(b"get", keys):
 
-        return await self._call(op)
+            async def op(
+                conn: _Connection, request: bytes = request
+            ) -> Dict[bytes, bytes]:
+                conn.writer.write(request)
+                await conn.writer.drain()
+                found: Dict[bytes, bytes] = {}
+                async for key, _flags, value, _cas in self._read_values(conn):
+                    found[key] = value
+                return found
+
+            out.update(await self._call(op))
+        return out
 
     async def get_full(self, key: bytes) -> Optional[Tuple[bytes, int]]:
         """GET returning ``(value, flags)``; None on miss."""
@@ -443,6 +456,33 @@ class MemcacheClient:
         for key in keys:
             self._check_key(key)
         return verb + b" " + b" ".join(keys) + CRLF
+
+    def _get_requests(
+        self, verb: bytes, keys: Sequence[bytes]
+    ) -> List[bytes]:
+        """Split a key list into request lines under the server line cap.
+
+        The parser refuses any line over ``MAX_LINE_BYTES``, so a large
+        multiget must travel as several smaller ones.  Greedy packing:
+        each chunk holds as many keys as fit.  A single key always fits
+        (``_check_key`` bounds key length well below the cap).
+        """
+        for key in keys:
+            self._check_key(key)
+        requests: List[bytes] = []
+        chunk: List[bytes] = []
+        # verb + separating space, plus trailing CRLF.
+        length = len(verb) + 2
+        for key in keys:
+            cost = len(key) + 1
+            if chunk and length + cost > MAX_LINE_BYTES:
+                requests.append(verb + b" " + b" ".join(chunk) + CRLF)
+                chunk = []
+                length = len(verb) + 2
+            chunk.append(key)
+            length += cost
+        requests.append(verb + b" " + b" ".join(chunk) + CRLF)
+        return requests
 
     async def _read_values(self, conn: _Connection):
         """Yield (key, flags, value, cas) from VALUE blocks until END."""

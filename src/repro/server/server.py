@@ -80,6 +80,12 @@ class ServerConfig:
     snapshot_path: Optional[str] = None
     #: Re-verify cache invariants every N commands (0 = off).
     audit_interval: int = 0
+    #: Batched reads: route multi-key GET/GETS through the cache's
+    #: ``get_many`` and coalesce consecutive single-key GETs arriving in
+    #: one pipelined read burst into one batch + one socket write.  Off,
+    #: every key takes the sequential per-key path (the multiget-gate
+    #: baseline).  Either way per-key hit/miss accounting is identical.
+    batch_reads: bool = True
     #: Unified observability: request-latency/payload histograms plus
     #: mounted cache/admission/server counters, exposed via ``stats``.
     metrics: bool = True
@@ -204,6 +210,10 @@ class CacheServer:
         self.config = config if config is not None else ServerConfig()
         self.config.validate()
         self.cache = cache
+        #: Batched-read entry point, when the cache offers one.  All four
+        #: cache flavors (ZExpander, ShardedZExpander, SimpleKVCache) do;
+        #: the getattr keeps bare test doubles working on the per-key path.
+        self._get_many = getattr(cache, "get_many", None)
         # Admission meters *real* arrival rates (wall clock) regardless of
         # the cache's clock_mode; deterministic runs inject a controller
         # driven by a TickClock instead.
@@ -469,9 +479,34 @@ class CacheServer:
         parser: RequestParser,
     ) -> None:
         while True:
-            for event in parser.events():
-                if not await self._dispatch(event, writer):
-                    return
+            events = list(parser.events())
+            if len(events) < 2:
+                # The common interactive case: one command per read.
+                # Never pays any coalescing checks, so single-key GET
+                # latency is untouched by the batch machinery.
+                for event in events:
+                    if not await self._dispatch(event, writer):
+                        return
+            else:
+                index = 0
+                total = len(events)
+                while index < total:
+                    event = events[index]
+                    if self._coalescible(event):
+                        run_end = index + 1
+                        while run_end < total and self._coalescible(
+                            events[run_end]
+                        ):
+                            run_end += 1
+                        if run_end - index >= 2:
+                            await self._dispatch_read_burst(
+                                events[index:run_end], writer
+                            )
+                            index = run_end
+                            continue
+                    if not await self._dispatch(event, writer):
+                        return
+                    index += 1
             try:
                 data = await asyncio.wait_for(
                     reader.read(65536), self.config.read_timeout
@@ -570,6 +605,116 @@ class CacheServer:
     async def _send(self, writer: asyncio.StreamWriter, payload: bytes) -> None:
         writer.write(payload)
         await asyncio.wait_for(writer.drain(), self.config.write_timeout)
+
+    # -- batched reads ---------------------------------------------------------
+
+    def _faults_armed(self) -> bool:
+        """Any fault injector on any shard?  Checked at burst-formation
+        time, not construction: chaos harnesses arm injectors after the
+        server is built."""
+        shards = getattr(self.cache, "shards", None)
+        if shards is not None:
+            return any(shard.fault_injector is not None for shard in shards)
+        return getattr(self.cache, "fault_injector", None) is not None
+
+    def _coalescible(self, event: protocol.Event) -> bool:
+        """May this parsed event join a batched read burst?
+
+        Conservative by design: only plain ``get``/``gets`` on a
+        non-draining primary with batching enabled and no fault injector
+        armed.  Fault sites key off the per-command counter, so fusing
+        commands would make chaos runs depend on TCP framing; the cache
+        layer applies the same fallback (``ZZone.read_batch`` returns
+        ``None`` under faults), keeping both layers framing-independent.
+        """
+        return (
+            isinstance(event, Command)
+            and event.name in ("get", "gets")
+            and self.config.batch_reads
+            and self._get_many is not None
+            and not self._draining
+            and self.config.role == "primary"
+            and not self._faults_armed()
+        )
+
+    async def _dispatch_read_burst(
+        self, commands: List[Command], writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve a run of pipelined get/gets as one batch + one write.
+
+        Every per-command control-plane step — command counting, audits,
+        admission, clock ticks, per-command reply frames (each with its
+        own END) — happens exactly as on the sequential path and in the
+        same order; only the cache lookups fuse into one ``get_many``
+        and the reply frames into one socket write.  Clock ticks stay
+        interleaved with admission so an injected tick-driven admission
+        controller sees the same clock it would have sequentially
+        (command execution never advances the clock).  Overload refusals
+        take their place in the reply stream in command order.
+        """
+        plan: List[Tuple[Command, bool]] = []
+        admitted: List[Command] = []
+        for command in commands:
+            self.stats.commands += 1
+            if self.auditor is not None:
+                try:
+                    self.auditor.on_request(self.stats.commands)
+                except Exception as exc:
+                    self.stats.invariant_failures += 1
+                    self.incidents.append(
+                        f"invariant check failed at command "
+                        f"{self.stats.commands}: {exc}"
+                    )
+            ok = self.admission.admit(
+                zzone_bound=self._zzone_bound(command), inflight=self._inflight
+            )
+            plan.append((command, ok))
+            if ok:
+                admitted.append(command)
+                self._tick_clock()
+        replies: List[bytes] = []
+        if admitted:
+            keys = [key for command in admitted for key in command.keys]
+            self._inflight += 1
+            try:
+                if self._timer is not None:
+                    started = self._timer()
+                    values = self._get_many(keys)
+                    share = (self._timer() - started) / len(admitted)
+                    for _ in admitted:
+                        self._latency_hist.observe(share)
+                else:
+                    values = self._get_many(keys)
+                # No _fault_hook: bursts only form with no injector armed.
+            finally:
+                self._inflight -= 1
+            position = 0
+            for command in admitted:
+                count = len(command.keys)
+                self.stats.cmd_get += 1
+                replies.append(
+                    self._render_get(command, values[position : position + count])
+                )
+                position += count
+        reply_iter = iter(replies)
+        chunks = [
+            next(reply_iter) if ok else _OVERLOADED for _, ok in plan
+        ]
+        if self.durability is not None and self.durability.should_checkpoint():
+            try:
+                self.durability.checkpoint(self.cache)
+            except Exception as exc:
+                self.incidents.append(f"checkpoint failed: {exc}")
+        # Sequential dispatch prunes the meta sidecar when the command
+        # counter hits a multiple of 4096; the burst checks whether the
+        # counter crossed one instead of landing exactly on it.
+        before = self.stats.commands - len(commands)
+        if (
+            before // 4096 != self.stats.commands // 4096
+            and len(self.meta) > 2 * self.cache.item_count + 64
+        ):
+            self.stats.meta_pruned += self.meta.prune(self.cache)
+        await self._send(writer, b"".join(chunks))
 
     # -- replica policy --------------------------------------------------------
 
@@ -700,34 +845,58 @@ class CacheServer:
         self.meta.on_set(key, command.flags)
         return protocol.STORED
 
+    def _render_get(
+        self, command: Command, values: List[Optional[bytes]]
+    ) -> bytes:
+        """Per-key hit/miss accounting + VALUE frames for one get/gets.
+
+        ``values[i]`` is the cache's answer for ``command.keys[i]``
+        (memcached semantics: hits and misses are counted per *key*, not
+        per command — a ``get a b c`` with one hit is 1 get_hits +
+        2 get_misses).  Shared by the sequential path, the multi-key
+        ``get_many`` path, and burst coalescing, so accounting cannot
+        drift between them.
+        """
+        chunks = []
+        with_cas = command.name == "gets"
+        for key, value in zip(command.keys, values):
+            if value is None:
+                self.stats.get_misses += 1
+                # The cache evicts/expires without telling the
+                # sidecar; drop the stale entry when the miss shows.
+                self.meta.on_delete(key)
+                continue
+            self.stats.get_hits += 1
+            self._get_bytes_hist.observe(len(value))
+            flags, cas = self.meta.get(key)
+            if with_cas and cas == 0:
+                # Resident item with no recorded version (e.g. loaded
+                # through a path that bypassed the sidecar): mint one
+                # so the gets/cas pair stays usable.
+                cas = self.meta.on_set(key, flags)
+            chunks.append(
+                protocol.encode_value(
+                    key, value, flags=flags, cas=cas if with_cas else None
+                )
+            )
+        chunks.append(protocol.END)
+        return b"".join(chunks)
+
     def _execute(self, command: Command) -> bytes:
         if command.name in ("get", "gets"):
             self.stats.cmd_get += 1
-            chunks = []
-            with_cas = command.name == "gets"
-            for key in command.keys:
-                value = self.cache.get(key)
-                if value is None:
-                    self.stats.get_misses += 1
-                    # The cache evicts/expires without telling the
-                    # sidecar; drop the stale entry when the miss shows.
-                    self.meta.on_delete(key)
-                    continue
-                self.stats.get_hits += 1
-                self._get_bytes_hist.observe(len(value))
-                flags, cas = self.meta.get(key)
-                if with_cas and cas == 0:
-                    # Resident item with no recorded version (e.g. loaded
-                    # through a path that bypassed the sidecar): mint one
-                    # so the gets/cas pair stays usable.
-                    cas = self.meta.on_set(key, flags)
-                chunks.append(
-                    protocol.encode_value(
-                        key, value, flags=flags, cas=cas if with_cas else None
-                    )
-                )
-            chunks.append(protocol.END)
-            return b"".join(chunks)
+            keys = command.keys
+            if (
+                len(keys) > 1
+                and self.config.batch_reads
+                and self._get_many is not None
+            ):
+                # One batch shares Z-zone block decodes across the keys;
+                # single-key GETs keep the plain path (nothing to share).
+                return self._render_get(command, self._get_many(keys))
+            return self._render_get(
+                command, [self.cache.get(key) for key in keys]
+            )
         if command.name == "set":
             self.stats.cmd_set += 1
             return self._store(command)
@@ -801,6 +970,8 @@ class CacheServer:
             out["cache_hits_nzone"] = cache_stats.get_hits_nzone
             out["cache_hits_zzone"] = cache_stats.get_hits_zzone
             out["cache_misses"] = cache_stats.get_misses
+            out["cache_get_many_batches"] = cache_stats.get_many_batches
+            out["cache_batched_keys"] = cache_stats.batched_keys
         integrity = getattr(self.cache, "aggregate_integrity", None)
         if integrity is not None:
             for name, value in integrity().items():
@@ -857,6 +1028,7 @@ class CacheServer:
                     "staging_flushes",
                     "container_cache_hits",
                     "container_cache_misses",
+                    "container_decodes_saved",
                 ):
                     out["fastpath_" + name] = getattr(zstats, name)
                 out["fastpath_container_cache_bytes"] = (

@@ -60,6 +60,9 @@ class BlockTrie:
         #: Lookup telemetry: pointers inspected on the walk up.
         self.probe_count = 0
         self.lookup_count = 0
+        #: Bumped on every structural mutation; a batched reader's leaf
+        #: memo is valid only while this is unchanged.
+        self.version = 0
 
     # -- positions -----------------------------------------------------------
 
@@ -106,6 +109,7 @@ class BlockTrie:
         self._set_pointer(0, block)
         self._block_count = 1
         self._height = 0
+        self.version += 1
 
     def find_leaf(self, hashed_key: int) -> Optional[Block]:
         """Locate the leaf on ``hashed_key``'s path via bottom-up walk.
@@ -132,11 +136,41 @@ class BlockTrie:
         self.probe_count += probes
         return block
 
+    def find_leaf_batched(
+        self, hashed_key: int, leaf_cache: Dict[int, "tuple"]
+    ) -> Optional[Block]:
+        """:meth:`find_leaf` with a caller-held (prefix -> result) memo.
+
+        A batched read resolves many hashed keys against an unchanged
+        trie; keys sharing their last-level prefix walk the same pointer
+        path, so the memo answers repeats without re-probing.  Lookup
+        telemetry stays exact: a memo hit charges ``lookup_count`` and
+        the memoised walk's ``probe_count``, so ``average_probes()`` is
+        identical to issuing the same lookups sequentially.  Callers must
+        clear the memo whenever :attr:`version` changes.
+        """
+        if self._block_count == 0:
+            return None
+        height = self._height
+        prefix = (hashed_key >> (64 - height)) if height else 0
+        memo = leaf_cache.get(prefix)
+        if memo is not None:
+            block, probes = memo
+            self.lookup_count += 1
+            self.probe_count += probes
+            return block
+        probes_before = self.probe_count
+        block = self.find_leaf(hashed_key)
+        if block is not None:
+            leaf_cache[prefix] = (block, self.probe_count - probes_before)
+        return block
+
     def replace_leaf(self, old: Block, new: Block) -> None:
         """Swap a rebuilt block into the old one's position."""
         if (old.depth, old.prefix) != (new.depth, new.prefix):
             raise ValueError("replacement must keep the trie position")
         self._set_pointer(self._position(new.depth, new.prefix), new)
+        self.version += 1
 
     def split_leaf(self, old: Block, left: Block, right: Block) -> None:
         """Replace ``old`` with its two children (old's slot goes NULL)."""
@@ -153,11 +187,13 @@ class BlockTrie:
         self._block_count += 1
         if child_depth > self._height:
             self._height = child_depth
+        self.version += 1
 
     def remove_leaf(self, block: Block) -> None:
         """Delete a leaf outright (zone teardown / merges)."""
         self._set_pointer(self._position(block.depth, block.prefix), None)
         self._block_count -= 1
+        self.version += 1
 
     def get_leaf(self, depth: int, prefix: int) -> Optional[Block]:
         """Direct pointer read (used to find a leaf's sibling)."""
@@ -180,6 +216,7 @@ class BlockTrie:
         self._set_pointer(self._position(right.depth, right.prefix), None)
         self._set_pointer(self._position(parent.depth, parent.prefix), parent)
         self._block_count -= 1
+        self.version += 1
 
     def leaves(self) -> Iterator[Block]:
         """Iterate every allocated leaf block."""

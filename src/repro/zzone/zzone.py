@@ -85,6 +85,11 @@ class ZZoneStats:
     container_cache_misses: int = 0
     #: Staged bytes failed their running CRC; the block was quarantined.
     staged_checksum_failures: int = 0
+    #: Batched GETs: physical decompressions skipped because an earlier
+    #: key in the same batch already decoded the block's container.  The
+    #: priced ``decompressions`` counter still charges these as-if
+    #: sequential (stats parity); this counter records the real savings.
+    container_decodes_saved: int = 0
 
     @property
     def expensive_ops(self) -> int:
@@ -99,6 +104,44 @@ class ZZoneStats:
             + self.codec_failures
             + self.staged_checksum_failures
         )
+
+
+class ReadBatch:
+    """Per-batch memo shared by one :meth:`ZZone.get_many` call.
+
+    Holds work that may legally be shared across the keys of one batch
+    without changing any observable state or counter relative to the
+    sequential path:
+
+    * decoded containers keyed by block generation (one physical
+      decompression serves every key in the block; the priced
+      ``decompressions`` counter is still charged per key),
+    * payload/staged CRC verification results (CRC is verified once per
+      container per batch — re-verifying identical bytes is pure waste),
+    * the trie-walk memo (same last-level prefix -> same leaf, with the
+      probe telemetry replayed so ``average_probes()`` stays exact).
+
+    Generations are process-unique and minted fresh on every rebuild, so
+    any mid-batch mutation (quarantine, promotion-driven rebuild)
+    invalidates the relevant memo entries by construction; the trie memo
+    is guarded by :attr:`BlockTrie.version`.
+    """
+
+    __slots__ = ("containers", "payload_verified", "staged_verified",
+                 "leaf_cache", "trie_version")
+
+    def __init__(self) -> None:
+        self.containers: Dict[int, bytes] = {}
+        self.payload_verified: set = set()
+        self.staged_verified: set = set()
+        self.leaf_cache: Dict[int, tuple] = {}
+        self.trie_version = -1
+
+
+#: Sentinel returned by ``_resolve_batched`` when the key still needs a
+#: container scan (vs. a fully resolved hit/miss).
+_SCAN = object()
+_DONE = object()
 
 
 class ZZone:
@@ -502,6 +545,227 @@ class ZZone:
         reuse = leaf.record_get(hashed, self.clock.now())
         self.stats.hits += 1
         return value, reuse
+
+    # -- batched reads ----------------------------------------------------------
+
+    def read_batch(self) -> Optional[ReadBatch]:
+        """A fresh per-batch memo, or None when batching must stand down.
+
+        With a fault injector armed, every keyed access must pass through
+        :meth:`get` so corruption points fire at their seeded positions —
+        the chaos harnesses' byte-identical verdicts depend on it.
+        """
+        if self._faults is not None:
+            return None
+        return ReadBatch()
+
+    def get_batched(
+        self, key: bytes, hashed: int, batch: Optional[ReadBatch]
+    ) -> Optional[Tuple[bytes, Optional[float]]]:
+        """One key of a batched read; exactly :meth:`get` plus the memo."""
+        if batch is None or self._faults is not None:
+            return self.get(key, hashed)
+        kind, payload = self._resolve_batched(key, hashed, batch)
+        if kind is _SCAN:
+            leaf, container = payload
+            return self._finish_scan(leaf, key, hashed, leaf.scan(container, key, hashed))
+        return payload
+
+    def get_many(
+        self, keyed: List[Tuple[bytes, int]]
+    ) -> List[Optional[Tuple[bytes, Optional[float]]]]:
+        """Batched lookup of ``(key, hashed)`` pairs, in caller order.
+
+        Result- and stats-identical to calling :meth:`get` per key (the
+        property tests assert this bit for bit), while each block's
+        container is physically decoded and CRC-verified at most once per
+        batch.  Keys are *processed* in caller order — bucketing happens
+        through the generation-keyed memo, not by reordering — because
+        order is observable: container-cache LRU state, promotion
+        bookkeeping, and recent-access records all depend on it.  Scans
+        against blocks with no staged entries or large refs are deferred
+        per block and resolved in one sorted pass (:meth:`Block.scan_many`);
+        that is safe because a pure-container block's per-key effects
+        (counters, ``record_get``) commute with other blocks' and are
+        still applied in caller order.
+        """
+        if self._faults is not None:
+            return [self.get(key, hashed) for key, hashed in keyed]
+        batch = ReadBatch()
+        results: List[Optional[Tuple[bytes, Optional[float]]]] = [None] * len(keyed)
+        #: generation -> (leaf, container, [(index, key, hashed), ...])
+        deferred: "OrderedDict[int, tuple]" = OrderedDict()
+        for index, (key, hashed) in enumerate(keyed):
+            kind, payload = self._resolve_batched(key, hashed, batch)
+            if kind is _SCAN:
+                leaf, container = payload
+                if leaf.staged_index or leaf.large_refs:
+                    # Mixed-path blocks keep strict per-key order: their
+                    # recent-access records interleave staged hits with
+                    # container hits, which a deferred scan would reorder.
+                    results[index] = self._finish_scan(
+                        leaf, key, hashed, leaf.scan(container, key, hashed)
+                    )
+                else:
+                    group = deferred.get(leaf.generation)
+                    if group is None:
+                        deferred[leaf.generation] = (leaf, container, [(index, key, hashed)])
+                    else:
+                        group[2].append((index, key, hashed))
+            else:
+                results[index] = payload
+        for leaf, container, queries in deferred.values():
+            values = leaf.scan_many(container, [(key, hashed) for _i, key, hashed in queries])
+            for (index, key, hashed), value in zip(queries, values):
+                results[index] = self._finish_scan(leaf, key, hashed, value)
+        return results
+
+    def _finish_scan(
+        self, leaf: Block, key: bytes, hashed: int, value: Optional[bytes]
+    ) -> Optional[Tuple[bytes, Optional[float]]]:
+        """Shared tail of :meth:`get`: account for a container-scan outcome."""
+        if value is None:
+            self.stats.false_positives += 1
+            self.stats.misses += 1
+            return None
+        reuse = leaf.record_get(hashed, self.clock.now())
+        self.stats.hits += 1
+        return value, reuse
+
+    def _resolve_batched(self, key: bytes, hashed: int, batch: ReadBatch):
+        """Mirror of :meth:`get` up to (but excluding) the container scan.
+
+        Returns ``(_DONE, result)`` for a fully resolved hit/miss or
+        ``(_SCAN, (leaf, container))`` when the key still needs its block
+        scanned.  Every counter is charged exactly where the sequential
+        path charges it.
+        """
+        stats = self.stats
+        stats.gets += 1
+        trie = self._trie
+        if batch.trie_version != trie.version:
+            batch.leaf_cache.clear()
+            batch.trie_version = trie.version
+        leaf = trie.find_leaf_batched(hashed, batch.leaf_cache)
+        if leaf is None:
+            stats.misses += 1
+            return _DONE, None
+        if self.use_content_filter and not leaf.maybe_contains(hashed):
+            stats.filter_skips += 1
+            stats.misses += 1
+            return _DONE, None
+        if leaf.staged_index:
+            if self.verify_checksums and not self._staged_ok_batched(leaf, batch):
+                stats.staged_checksum_failures += 1
+                self._quarantine(leaf)
+                stats.misses += 1
+                return _DONE, None
+            value = leaf.staged_lookup(key)
+            if value is not None:
+                reuse = leaf.record_get(hashed, self.clock.now())
+                stats.hits += 1
+                return _DONE, (value, reuse)
+        large = leaf.large_refs.get(key)
+        if large is not None:
+            value = self._large_bytes(leaf, key, large)
+            if value is None:
+                stats.misses += 1
+                return _DONE, None
+            large.accessed = True
+            reuse = leaf.record_get(hashed, self.clock.now())
+            stats.hits += 1
+            return _DONE, (value, reuse)
+        container = self._lookup_container_batched(leaf, batch)
+        if container is None:
+            stats.misses += 1
+            return _DONE, None
+        return _SCAN, (leaf, container)
+
+    def _staged_ok_batched(self, leaf: Block, batch: ReadBatch) -> bool:
+        """Staged CRC, verified once per (generation, buffer length).
+
+        The buffer length rides in the token because staged appends do
+        not mint a new generation: a put between two reads of the same
+        batch cannot happen today (batches only read), but the token
+        keeps the memo safe if that ever changes.
+        """
+        token = (leaf.generation, len(leaf.staged_buffer))
+        if token in batch.staged_verified:
+            return True
+        if leaf.staged_checksum_ok():
+            batch.staged_verified.add(token)
+            return True
+        return False
+
+    def _payload_ok_batched(self, leaf: Block, batch: ReadBatch) -> bool:
+        """Payload CRC, verified once per generation per batch."""
+        if leaf.generation in batch.payload_verified:
+            return True
+        if leaf.checksum_ok():
+            batch.payload_verified.add(leaf.generation)
+            return True
+        return False
+
+    def _container_of_batched(
+        self, leaf: Block, batch: ReadBatch
+    ) -> Optional[bytes]:
+        """:meth:`_container_of` backed by the batch's container memo.
+
+        The priced ``decompressions`` counter is charged unconditionally
+        — exactly as the sequential path would — and the memo only spares
+        the physical decode, counted in ``container_decodes_saved``.
+        """
+        self.stats.decompressions += 1
+        if self.verify_checksums and not self._payload_ok_batched(leaf, batch):
+            self.stats.checksum_failures += 1
+            self._quarantine(leaf)
+            return None
+        memo = batch.containers.get(leaf.generation)
+        if memo is not None:
+            self.stats.container_decodes_saved += 1
+            return memo
+        codec = leaf.codec or self.compressor
+        try:
+            container = codec.decompress(leaf.compressed)
+        except Exception:
+            self._note_codec_failure()
+            self._quarantine(leaf)
+            return None
+        if len(container) != leaf.uncompressed_size:
+            self._note_codec_failure()
+            self._quarantine(leaf)
+            return None
+        batch.containers[leaf.generation] = container
+        return container
+
+    def _lookup_container_batched(
+        self, leaf: Block, batch: ReadBatch
+    ) -> Optional[bytes]:
+        """:meth:`_lookup_container` with the batch memo underneath.
+
+        The *real* decompressed-container cache is probed and maintained
+        exactly as on the sequential path — same hit/miss counters, same
+        LRU movement, same fills and trims — so cache state after a batch
+        is indistinguishable from the equivalent GET loop.
+        """
+        if self.decompressed_cache_blocks == 0:
+            return self._container_of_batched(leaf, batch)
+        cached = self._container_cache.get(leaf.generation)
+        if cached is not None:
+            if self.verify_checksums and not self._payload_ok_batched(leaf, batch):
+                self.stats.checksum_failures += 1
+                self._quarantine(leaf)
+                return None
+            self.stats.container_cache_hits += 1
+            self._container_cache.move_to_end(leaf.generation)
+            return cached
+        self.stats.container_cache_misses += 1
+        container = self._container_of_batched(leaf, batch)
+        if container is not None:
+            self._container_cache[leaf.generation] = container
+            while len(self._container_cache) > self.decompressed_cache_blocks:
+                self._container_cache.popitem(last=False)
+        return container
 
     def maybe_contains(self, key: bytes, hashed: Optional[int] = None) -> bool:
         """Content-Filter-only membership check (no decompression)."""

@@ -124,6 +124,7 @@ class TestFastPathSharding:
             "staging_flushes",
             "container_cache_hits",
             "container_cache_misses",
+            "container_decodes_saved",
             "container_cache_bytes",
         }
         assert totals["staged_puts"] > 0
@@ -132,6 +133,7 @@ class TestFastPathSharding:
             "staging_flushes",
             "container_cache_hits",
             "container_cache_misses",
+            "container_decodes_saved",
         ):
             assert totals[name] == sum(
                 getattr(shard.zzone.stats, name) for shard in fleet.shards

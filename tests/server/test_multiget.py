@@ -1,0 +1,213 @@
+"""Multi-key GET: per-key accounting, batching, and burst coalescing.
+
+Pins memcached's per-*key* accounting on multi-key GETs (``get a b c``
+with one resident key is 1 ``get_hits`` + 2 ``get_misses`` but a single
+``cmd_get``) and verifies the batched read path — native multi-key
+``get`` through ``get_many`` and server-side coalescing of pipelined
+single-key GET bursts — answers byte-for-byte like the sequential path.
+"""
+
+import asyncio
+
+from repro.server.client import MemcacheClient
+
+from .test_server import make_cache, running_server, send
+
+
+async def _store(writer, reader, key: bytes, value: bytes) -> None:
+    reply = await send(
+        writer,
+        reader,
+        b"set %s 0 0 %d\r\n%s\r\n" % (key, len(value), value),
+    )
+    assert reply == b"STORED\r\n"
+
+
+class TestPerKeyAccounting:
+    """Satellite regression: hits/misses count per key, not per command."""
+
+    def _scenario(self, batch_reads: bool):
+        async def run():
+            async with running_server(batch_reads=batch_reads) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await _store(writer, reader, b"mk1", b"alpha")
+                await _store(writer, reader, b"mk3", b"gamma")
+                reply = await send(
+                    writer,
+                    reader,
+                    b"get mk1 mk2 mk3 mk4\r\n",
+                    reply_lines=5,
+                )
+                assert reply == (
+                    b"VALUE mk1 0 5\r\nalpha\r\n"
+                    b"VALUE mk3 0 5\r\ngamma\r\n"
+                    b"END\r\n"
+                )
+                # memcached semantics: one command, four key lookups.
+                assert server.stats.cmd_get == 1
+                assert server.stats.get_hits == 2
+                assert server.stats.get_misses == 2
+                writer.close()
+
+        asyncio.run(run())
+
+    def test_per_key_counts_batched(self):
+        self._scenario(batch_reads=True)
+
+    def test_per_key_counts_sequential(self):
+        self._scenario(batch_reads=False)
+
+    def test_multikey_get_counts_as_one_batch(self):
+        async def run():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await _store(writer, reader, b"bk1", b"one")
+                await send(writer, reader, b"get bk1 bk2\r\n", reply_lines=3)
+                stats = server.cache.stats
+                assert stats.get_many_batches == 1
+                assert stats.batched_keys == 2
+                # Single-key GETs stay off the batch path entirely.
+                await send(writer, reader, b"get bk1\r\n", reply_lines=3)
+                assert stats.get_many_batches == 1
+                writer.close()
+
+        asyncio.run(run())
+
+
+class TestBurstCoalescing:
+    def test_pipelined_gets_reply_per_command(self):
+        """A one-write burst of single-key GETs coalesces server-side
+        but each command keeps its own reply frame (own END)."""
+
+        async def run():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await _store(writer, reader, b"pk1", b"aa")
+                await _store(writer, reader, b"pk2", b"bb")
+                commands_before = server.stats.commands
+                writer.write(b"get pk1\r\nget missing\r\nget pk2\r\n")
+                await writer.drain()
+                reply = b""
+                for _ in range(8):
+                    reply += await reader.readline()
+                assert reply == (
+                    b"VALUE pk1 0 2\r\naa\r\nEND\r\n"
+                    b"END\r\n"
+                    b"VALUE pk2 0 2\r\nbb\r\nEND\r\n"
+                )
+                # Coalesced, yet counted command by command.
+                assert server.stats.commands == commands_before + 3
+                assert server.stats.cmd_get == 3
+                assert server.stats.get_hits == 2
+                assert server.stats.get_misses == 1
+                assert server.cache.stats.get_many_batches == 1
+                assert server.cache.stats.batched_keys == 3
+                writer.close()
+
+        asyncio.run(run())
+
+    def test_mixed_burst_splits_around_writes(self):
+        """get, set, get in one write: the SET breaks the run, replies
+        arrive in order, nothing is lost."""
+
+        async def run():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await _store(writer, reader, b"xk1", b"v1")
+                writer.write(
+                    b"get xk1\r\n"
+                    b"set xk2 0 0 2\r\nv2\r\n"
+                    b"get xk2\r\nget xk1\r\n"
+                )
+                await writer.drain()
+                reply = b""
+                for _ in range(10):
+                    reply += await reader.readline()
+                assert reply == (
+                    b"VALUE xk1 0 2\r\nv1\r\nEND\r\n"
+                    b"STORED\r\n"
+                    b"VALUE xk2 0 2\r\nv2\r\nEND\r\n"
+                    b"VALUE xk1 0 2\r\nv1\r\nEND\r\n"
+                )
+                writer.close()
+
+        asyncio.run(run())
+
+    def test_gets_burst_carries_cas(self):
+        async def run():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await _store(writer, reader, b"ck1", b"v1")
+                await _store(writer, reader, b"ck2", b"v2")
+                writer.write(b"gets ck1\r\ngets ck2\r\n")
+                await writer.drain()
+                reply = b""
+                for _ in range(6):
+                    reply += await reader.readline()
+                assert reply == (
+                    b"VALUE ck1 0 2 1\r\nv1\r\nEND\r\n"
+                    b"VALUE ck2 0 2 2\r\nv2\r\nEND\r\n"
+                )
+                writer.close()
+
+        asyncio.run(run())
+
+
+class TestStatsWire:
+    def test_batch_counters_on_stats_wire(self):
+        async def run():
+            for shards in (0, 2):
+                cache = make_cache(shards=shards)
+                async with running_server(cache=cache) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    await _store(writer, reader, b"sk1", b"vv")
+                    await send(writer, reader, b"get sk1 sk2\r\n", reply_lines=3)
+                    stats = server.stats_dict()
+                    # Sharded caches count one batch per involved shard.
+                    assert 1 <= stats["cache_get_many_batches"] <= 2
+                    assert stats["cache_batched_keys"] == 2
+                    assert "fastpath_container_decodes_saved" in stats
+                    writer.close()
+
+        asyncio.run(run())
+
+
+class TestClientChunking:
+    def test_get_many_empty_is_local(self):
+        async def run():
+            async with running_server() as server:
+                client = MemcacheClient(port=server.port, pool_size=1)
+                assert await client.get_many([]) == {}
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_get_many_chunks_under_line_cap(self):
+        async def run():
+            async with running_server() as server:
+                client = MemcacheClient(port=server.port, pool_size=1)
+                keys = [b"chunk:%04d" % i for i in range(1200)]
+                for key in keys[:50]:
+                    await client.set(key, b"v" + key)
+                # 1200 x ~11-byte keys ≈ 14 KB of request line: must be
+                # split to stay under the 8 KB server line cap.
+                requests = client._get_requests(b"get", keys)
+                assert len(requests) > 1
+                assert all(len(r) <= 8192 for r in requests)
+                result = await client.get_many(keys)
+                assert result == {key: b"v" + key for key in keys[:50]}
+                await client.close()
+
+        asyncio.run(run())
